@@ -1,0 +1,83 @@
+// Experiment F4: Step-2 geometry of Figure 4.
+//
+// Inside the target block, Step 2 rotates the in-block state vector from
+// initial angle theta1 (from the target axis) PAST the target to -theta2:
+// "in the target block the state vector moves past the target". We print
+// the in-block angle per local iteration and compare theta1/theta2 against
+// eq. (3)/(4).
+#include <cmath>
+#include <iostream>
+
+#include "common/cli.h"
+#include "common/math.h"
+#include "common/table.h"
+#include "partial/analytic.h"
+#include "partial/optimizer.h"
+
+int main(int argc, char** argv) {
+  using namespace pqs;
+  Cli cli(argc, argv);
+  const auto n = static_cast<unsigned>(
+      cli.get_int("qubits", 16, "address qubits"));
+  const auto k = static_cast<unsigned>(
+      cli.get_int("kbits", 2, "block bits (K = 2^k)"));
+  if (cli.help_requested()) {
+    std::cout << cli.help();
+    return 0;
+  }
+  cli.finish();
+
+  const std::uint64_t n_items = pow2(n);
+  const std::uint64_t k_blocks = pow2(k);
+  const double sqrt_n = std::sqrt(static_cast<double>(n_items));
+
+  const auto opt = partial::optimize_epsilon(k_blocks);
+  const auto l1 = static_cast<std::uint64_t>(
+      std::llround(kQuarterPi * (1.0 - opt.epsilon) * sqrt_n));
+
+  const partial::SubspaceModel model(n_items, k_blocks);
+  auto s = model.uniform_start();
+  for (std::uint64_t i = 0; i < l1; ++i) {
+    s = model.apply_global(s);
+  }
+
+  std::cout << "F4 - Step 2: independent per-block searches; in the target "
+               "block the state moves past the target\n(N = "
+            << n_items << ", K = " << k_blocks << ", eps* = "
+            << Table::num(opt.epsilon, 4) << ", l1 = " << l1 << ")\n\n";
+
+  // eq. (3)/(4) predictions.
+  std::cout << "eq. (3): theta1 = " << Table::num(opt.angles.theta1, 4)
+            << "   eq. (4): theta2 = " << Table::num(opt.angles.theta2, 4)
+            << "   l2 = sqrt(N/K)/2 (theta1+theta2) = "
+            << Table::num(std::sqrt(static_cast<double>(model.block_size())) /
+                              2.0 * (opt.angles.theta1 + opt.angles.theta2),
+                          1)
+            << " iterations\n\n";
+
+  Table table({"local iter", "angle from |z_t> (rad)", "a_t (block-rel)",
+               "a_b per state", "step-3 residual |a_o'|"});
+  const auto l2_ideal = static_cast<std::uint64_t>(
+      std::llround(std::sqrt(static_cast<double>(model.block_size())) / 2.0 *
+                   (opt.angles.theta1 + opt.angles.theta2)));
+  const std::uint64_t step =
+      l2_ideal >= 12 ? l2_ideal / 12 : 1;
+  for (std::uint64_t l2 = 0; l2 <= l2_ideal + 2 * step; ++l2) {
+    if (l2 % step == 0 || l2 == l2_ideal) {
+      const double alpha = std::sqrt(s.target_block_probability());
+      const double in_block_angle =
+          std::acos(std::min(1.0, std::abs(s.a_t) / alpha));
+      table.add_row(
+          {Table::num(l2) + (l2 == l2_ideal ? " <- l2*" : ""),
+           Table::num(in_block_angle, 4),
+           Table::num(std::abs(s.a_t) / alpha, 4),
+           Table::num(model.per_state_target_rest(s).real(), 6),
+           Table::num(model.step3_residual(s), 6)});
+    }
+    s = model.apply_local(s);
+  }
+  std::cout << table.render();
+  std::cout << "\nNote the sign change of a_b (the state passes the target) "
+               "and the minimum of the step-3 residual at l2*.\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Extension: multi-marked partial search — M marked items clustered in one
+// block. The Grover angle improves to arcsin(sqrt(M/N)), so queries shrink
+// ~ 1/sqrt(M), mirroring multi-target full search (BBHT).
+#include <cmath>
+#include <iostream>
+
+#include "common/cli.h"
+#include "common/math.h"
+#include "common/table.h"
+#include "partial/multi.h"
+#include "partial/optimizer.h"
+
+int main(int argc, char** argv) {
+  using namespace pqs;
+  Cli cli(argc, argv);
+  const auto n = static_cast<unsigned>(
+      cli.get_int("qubits", 12, "address qubits"));
+  const auto k = static_cast<unsigned>(
+      cli.get_int("kbits", 2, "block bits"));
+  if (cli.help_requested()) {
+    std::cout << cli.help();
+    return 0;
+  }
+  cli.finish();
+
+  const std::uint64_t n_items = pow2(n);
+  Rng rng(31415);
+  std::cout << "extension - partial search with M marked items in one block "
+               "(N = " << n_items << ", K = " << pow2(k) << ")\n\n";
+
+  Table table({"M", "queries (measured)", "sqrt(M) * queries", "success",
+               "exact-model optimum"});
+  for (const std::uint64_t m : {1u, 2u, 4u, 9u, 16u, 64u}) {
+    std::vector<qsim::Index> marked;
+    for (std::uint64_t i = 0; i < m; ++i) {
+      marked.push_back((qsim::Index{1} << (n - k)) + 3 * i);  // block 1
+    }
+    const oracle::MarkedDatabase db(n_items, marked);
+    const auto run = partial::run_partial_search_multi(db, k, rng);
+    const auto opt = partial::optimize_integer(
+        n_items, pow2(k), partial::default_min_success(n_items), m);
+    table.add_row(
+        {Table::num(m), Table::num(run.queries),
+         Table::num(std::sqrt(static_cast<double>(m)) *
+                        static_cast<double>(run.queries),
+                    1),
+         Table::num(run.block_probability, 5), Table::num(opt.queries)});
+  }
+  std::cout << table.render();
+  std::cout << "\nthe sqrt(M)*queries column is ~constant: the 1/sqrt(M) "
+               "speedup of multi-target Grover carries over to partial "
+               "search when the hits are clustered.\n";
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Experiment S1: the sqrt(N) shape claim across every method (Section 1.2's
+// motivation table, extended). For each N we report query counts of:
+//   classical randomized partial      N/2 (1 - 1/K^2)       [Theta(N)]
+//   naive quantum (block discard)     (pi/4) sqrt((K-1)N/K) [Theta(sqrt N)]
+//   GRK partial search (this paper)   optimized, exact model
+//   sure-success partial search
+//   full Grover search                (pi/4) sqrt(N)
+//   Theorem-2 lower bound             (pi/4)(1-1/sqrt(K)) sqrt(N)
+// The crossover story: GRK < naive < full for every N, with the gap to the
+// lower bound shrinking as K grows.
+#include <cmath>
+#include <iostream>
+
+#include "common/cli.h"
+#include "common/math.h"
+#include "common/table.h"
+#include "partial/bounds.h"
+#include "partial/certainty.h"
+#include "partial/optimizer.h"
+
+int main(int argc, char** argv) {
+  using namespace pqs;
+  Cli cli(argc, argv);
+  const auto k_bits = static_cast<unsigned>(
+      cli.get_int("kbits", 2, "block bits (K = 2^k)"));
+  if (cli.help_requested()) {
+    std::cout << cli.help();
+    return 0;
+  }
+  cli.finish();
+
+  const std::uint64_t k_blocks = pow2(k_bits);
+  std::cout << "S1 - queries vs N for every method (K = " << k_blocks
+            << "); quantum rows are Theta(sqrt(N)), the classical row is "
+               "Theta(N)\n\n";
+
+  Table table({"N", "classical rand.", "naive quantum", "GRK (1-1/sqrtN flr)",
+               "sure-success", "full Grover", "lower bound"});
+  for (unsigned n = 10; n <= 24; n += 2) {
+    const std::uint64_t n_items = pow2(n);
+    const double sqrt_n = std::sqrt(static_cast<double>(n_items));
+    const auto opt = partial::optimize_integer(n_items, k_blocks,
+                                               1.0 - 1.0 / sqrt_n);
+    const auto certain = partial::certainty_schedule(n_items, k_blocks);
+    table.add_row(
+        {Table::num(n_items),
+         Table::num(partial::classical_partial_randomized_paper(n_items,
+                                                                k_blocks),
+                    0),
+         Table::num(partial::naive_block_discard_coefficient(k_blocks) *
+                        sqrt_n,
+                    0),
+         Table::num(opt.queries), Table::num(certain.queries),
+         Table::num(grover_optimal_iterations(n_items)),
+         Table::num(partial::lower_bound_coefficient(k_blocks) * sqrt_n, 0)});
+  }
+  std::cout << table.render();
+
+  Table coeff({"N", "GRK/sqrt(N)", "asymptotic optimum", "success"});
+  coeff.set_title("\nconvergence of the finite-N integer optimum to the "
+                  "asymptotic coefficient");
+  const double asymptotic = partial::optimize_epsilon(k_blocks).coefficient;
+  for (unsigned n = 10; n <= 24; n += 2) {
+    const std::uint64_t n_items = pow2(n);
+    const double sqrt_n = std::sqrt(static_cast<double>(n_items));
+    const auto opt = partial::optimize_integer(n_items, k_blocks,
+                                               1.0 - 1.0 / sqrt_n);
+    coeff.add_row({Table::num(n_items),
+                   Table::num(static_cast<double>(opt.queries) / sqrt_n, 4),
+                   Table::num(asymptotic, 4), Table::num(opt.success, 6)});
+  }
+  std::cout << coeff.render();
+  return 0;
+}

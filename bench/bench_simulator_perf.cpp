@@ -1,0 +1,128 @@
+// Experiment P1 (engineering ablation): throughput of the state-vector
+// kernels, including the fused-kernel vs gate-level-diffusion gap that
+// justifies the fused implementation (DESIGN.md, "Design choices").
+#include <benchmark/benchmark.h>
+
+#include "common/math.h"
+#include "oracle/database.h"
+#include "partial/analytic.h"
+#include "partial/optimizer.h"
+#include "qsim/diffusion.h"
+#include "qsim/kernels.h"
+#include "qsim/state_vector.h"
+
+namespace {
+
+using namespace pqs;
+
+void BM_SingleQubitGate(benchmark::State& state) {
+  const auto n = static_cast<unsigned>(state.range(0));
+  auto sv = qsim::StateVector::uniform(n);
+  const auto h = qsim::gates::H();
+  unsigned q = 0;
+  for (auto _ : state) {
+    sv.apply_gate1(q, h);
+    q = (q + 1) % n;
+    benchmark::DoNotOptimize(sv.amplitudes().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sv.dimension()));
+}
+BENCHMARK(BM_SingleQubitGate)->Arg(10)->Arg(14)->Arg(18)->Arg(20);
+
+void BM_GlobalDiffusionFused(benchmark::State& state) {
+  const auto n = static_cast<unsigned>(state.range(0));
+  auto sv = qsim::StateVector::uniform(n);
+  for (auto _ : state) {
+    sv.reflect_about_uniform();
+    benchmark::DoNotOptimize(sv.amplitudes().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sv.dimension()));
+}
+BENCHMARK(BM_GlobalDiffusionFused)->Arg(10)->Arg(14)->Arg(18)->Arg(20);
+
+void BM_GlobalDiffusionGateLevel(benchmark::State& state) {
+  const auto n = static_cast<unsigned>(state.range(0));
+  auto sv = qsim::StateVector::uniform(n);
+  for (auto _ : state) {
+    qsim::apply_global_diffusion_gate_level(sv);
+    benchmark::DoNotOptimize(sv.amplitudes().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sv.dimension()));
+}
+BENCHMARK(BM_GlobalDiffusionGateLevel)->Arg(10)->Arg(14)->Arg(18);
+
+void BM_BlockDiffusionFused(benchmark::State& state) {
+  const auto n = static_cast<unsigned>(state.range(0));
+  auto sv = qsim::StateVector::uniform(n);
+  for (auto _ : state) {
+    sv.reflect_blocks_about_uniform(2);
+    benchmark::DoNotOptimize(sv.amplitudes().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sv.dimension()));
+}
+BENCHMARK(BM_BlockDiffusionFused)->Arg(10)->Arg(14)->Arg(18)->Arg(20);
+
+void BM_GroverIteration(benchmark::State& state) {
+  const auto n = static_cast<unsigned>(state.range(0));
+  const oracle::Database db = oracle::Database::with_qubits(n, 1);
+  auto sv = qsim::StateVector::uniform(n);
+  for (auto _ : state) {
+    db.apply_phase_oracle(sv);
+    sv.reflect_about_uniform();
+    benchmark::DoNotOptimize(sv.amplitudes().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sv.dimension()));
+}
+BENCHMARK(BM_GroverIteration)->Arg(10)->Arg(14)->Arg(18)->Arg(20);
+
+void BM_NonTargetMeanReflection(benchmark::State& state) {
+  const auto n = static_cast<unsigned>(state.range(0));
+  auto sv = qsim::StateVector::uniform(n);
+  for (auto _ : state) {
+    sv.reflect_non_target_about_their_mean(3);
+    benchmark::DoNotOptimize(sv.amplitudes().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sv.dimension()));
+}
+BENCHMARK(BM_NonTargetMeanReflection)->Arg(10)->Arg(14)->Arg(18);
+
+void BM_InnerProduct(benchmark::State& state) {
+  const auto n = static_cast<unsigned>(state.range(0));
+  const auto a = qsim::StateVector::uniform(n);
+  const auto b = qsim::StateVector::uniform(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.inner(b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(a.dimension()));
+}
+BENCHMARK(BM_InnerProduct)->Arg(14)->Arg(18)->Arg(20);
+
+void BM_SubspaceModelGrkStep(benchmark::State& state) {
+  // The O(1) analytic model: the reason the finite-N optimizer is instant.
+  const partial::SubspaceModel model(std::uint64_t{1} << 40, 64);
+  auto s = model.uniform_start();
+  for (auto _ : state) {
+    s = model.apply_global(s);
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_SubspaceModelGrkStep);
+
+void BM_IntegerOptimizer(benchmark::State& state) {
+  const auto n = static_cast<unsigned>(state.range(0));
+  const std::uint64_t n_items = pow2(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(partial::optimize_integer(
+        n_items, 4, partial::default_min_success(n_items)));
+  }
+}
+BENCHMARK(BM_IntegerOptimizer)->Arg(12)->Arg(16)->Arg(20);
+
+}  // namespace

@@ -1,0 +1,44 @@
+// Noise-robustness demo: how does the partial-search advantage survive an
+// imperfect oracle? We sweep the depolarizing rate and watch both answers
+// decay — the partial searcher, running ~25% fewer queries, decays slower.
+#include <iostream>
+
+#include "common/cli.h"
+#include "common/table.h"
+#include "oracle/database.h"
+#include "partial/noisy.h"
+
+int main(int argc, char** argv) {
+  using namespace pqs;
+  Cli cli(argc, argv);
+  const auto n = static_cast<unsigned>(
+      cli.get_int("qubits", 9, "address qubits"));
+  if (cli.help_requested()) {
+    std::cout << cli.help();
+    return 0;
+  }
+  cli.finish();
+
+  const oracle::Database db = oracle::Database::with_qubits(n, 100);
+  Rng rng(99);
+  std::cout << "which quarter holds the target, when every oracle call "
+               "leaks noise? (N = 2^" << n << ")\n\n";
+
+  Table table({"error rate", "partial search", "full search (same question)"});
+  for (const double p : {0.0, 0.005, 0.02, 0.08}) {
+    const qsim::NoiseModel model{qsim::NoiseKind::kDepolarizing, p};
+    const auto part = partial::run_noisy_partial_search(db, 2, model, 120, rng);
+    const auto full =
+        partial::run_noisy_full_search_block(db, 2, model, 120, rng);
+    table.add_row({Table::num(p, 3),
+                   Table::num(part.success_rate, 2) + " @ " +
+                       Table::num(part.queries_per_trial) + " queries",
+                   Table::num(full.success_rate, 2) + " @ " +
+                       Table::num(full.queries_per_trial) + " queries"});
+  }
+  std::cout << table.render();
+  std::cout << "\nfewer queries = fewer chances for the environment to "
+               "corrupt the register: partial search is not just faster, "
+               "it is more robust per answer.\n";
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Side-by-side cost comparison for YOUR problem size: how much cheaper is
+// knowing only the first k bits of the address?
+//
+//   ./build/examples/partial_vs_full --qubits 18 --kbits 3
+#include <cmath>
+#include <iostream>
+
+#include "common/cli.h"
+#include "common/math.h"
+#include "common/table.h"
+#include "partial/bounds.h"
+#include "partial/certainty.h"
+#include "partial/optimizer.h"
+
+int main(int argc, char** argv) {
+  using namespace pqs;
+  Cli cli(argc, argv);
+  const auto n = static_cast<unsigned>(
+      cli.get_int("qubits", 16, "address bits (N = 2^n items)"));
+  const auto k = static_cast<unsigned>(
+      cli.get_int("kbits", 2, "wanted bits (K = 2^k blocks)"));
+  if (cli.help_requested()) {
+    std::cout << cli.help();
+    return 0;
+  }
+  cli.finish();
+  PQS_CHECK_MSG(k >= 1 && k < n, "need 1 <= kbits < qubits");
+
+  const std::uint64_t n_items = pow2(n);
+  const std::uint64_t k_blocks = pow2(k);
+  const double sqrt_n = std::sqrt(static_cast<double>(n_items));
+
+  std::cout << "N = " << n_items << " items; you want the first " << k
+            << " bit(s) of the marked address (" << k_blocks
+            << " blocks)\n\n";
+
+  const auto grk =
+      partial::optimize_integer(n_items, k_blocks, 1.0 - 1.0 / sqrt_n);
+  const auto certain = partial::certainty_schedule(n_items, k_blocks);
+
+  Table table({"method", "queries", "per sqrt(N)", "answer quality"});
+  table.add_row({"classical randomized (optimal, App. A)",
+                 Table::num(partial::classical_partial_randomized_paper(
+                                n_items, k_blocks),
+                            0),
+                 "-", "exact"});
+  table.add_row({"full Grover search (overkill)",
+                 Table::num(grover_optimal_iterations(n_items)),
+                 Table::num(kQuarterPi, 3), "whole address, err ~1/N"});
+  table.add_row({"naive quantum partial (Sec. 1.2)",
+                 Table::num(partial::naive_block_discard_coefficient(
+                                k_blocks) * sqrt_n,
+                            0),
+                 Table::num(partial::naive_block_discard_coefficient(k_blocks),
+                            3),
+                 "block, small error"});
+  table.add_row({"GRK partial search (Sec. 3)", Table::num(grk.queries),
+                 Table::num(static_cast<double>(grk.queries) / sqrt_n, 3),
+                 "block, err <= " + Table::num(1.0 - grk.success, 5)});
+  table.add_row({"GRK sure-success variant", Table::num(certain.queries),
+                 Table::num(static_cast<double>(certain.queries) / sqrt_n, 3),
+                 "block, certain"});
+  table.add_row({"Theorem-2 lower bound",
+                 Table::num(partial::lower_bound_coefficient(k_blocks) *
+                                sqrt_n,
+                            0),
+                 Table::num(partial::lower_bound_coefficient(k_blocks), 3),
+                 "(no algorithm can beat this)"});
+  std::cout << table.render();
+
+  const double saved =
+      static_cast<double>(grover_optimal_iterations(n_items)) -
+      static_cast<double>(grk.queries);
+  std::cout << "\nsavings over full search: " << Table::num(saved, 0)
+            << " queries ~ " << Table::num(saved / sqrt_n, 3)
+            << " sqrt(N) = Theta(sqrt(N/K)); schedule: l1 = " << grk.l1
+            << " global + l2 = " << grk.l2 << " local + 1 final query.\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+#include "classical/adversary.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+#include "partial/bounds.h"
+
+namespace pqs::classical {
+
+double expected_probes_for_order(const std::vector<oracle::Index>& order,
+                                 const oracle::BlockLayout& layout) {
+  const std::uint64_t n = layout.num_items();
+  PQS_CHECK_MSG(order.size() == n, "order must probe every address once");
+
+  // Find the stopping point s: the first prefix length after which every
+  // unprobed address lies in one block. Scanning backward: the suffix
+  // order[s..] must be within a single block.
+  std::uint64_t s = n;
+  {
+    std::uint64_t suffix_block = layout.block_of(order[n - 1]);
+    std::uint64_t i = n - 1;
+    while (i > 0 && layout.block_of(order[i - 1]) == suffix_block) {
+      --i;
+    }
+    s = i;  // probing positions 0..s-1 suffices for zero error
+  }
+
+  // Cost for target at probe position j: j+1 if j < s (found), else s
+  // (elimination answers without finding).
+  double total = 0.0;
+  for (std::uint64_t j = 0; j < n; ++j) {
+    total += static_cast<double>(j < s ? j + 1 : s);
+  }
+  return total / static_cast<double>(n);
+}
+
+AdversaryResult exhaustive_partial_search_bound(std::uint64_t n_items,
+                                                std::uint64_t k_blocks) {
+  PQS_CHECK_MSG(n_items <= 9, "N! brute force is for N <= 9");
+  const oracle::BlockLayout layout(n_items, k_blocks);
+
+  std::vector<oracle::Index> order(n_items);
+  std::iota(order.begin(), order.end(), oracle::Index{0});
+
+  AdversaryResult result;
+  result.min_expected = 1e300;
+  result.max_expected = -1e300;
+  do {
+    ++result.orders_checked;
+    const double e = expected_probes_for_order(order, layout);
+    if (e < result.min_expected - 1e-12) {
+      result.min_expected = e;
+      result.optimal_orders = 1;
+    } else if (e < result.min_expected + 1e-12) {
+      ++result.optimal_orders;
+    }
+    result.max_expected = std::max(result.max_expected, e);
+  } while (std::next_permutation(order.begin(), order.end()));
+  return result;
+}
+
+double appendix_a_bound(std::uint64_t n_items, std::uint64_t k_blocks) {
+  return partial::classical_partial_randomized_exact(n_items, k_blocks);
+}
+
+}  // namespace pqs::classical

@@ -1,0 +1,65 @@
+#include "classical/montecarlo.h"
+
+#include "classical/search.h"
+#include "oracle/blocks.h"
+#include "oracle/database.h"
+
+namespace pqs::classical {
+
+namespace {
+
+template <typename RunFn>
+TrialStats measure(std::uint64_t n_items, std::uint64_t trials, Rng& rng,
+                   RunFn&& run) {
+  TrialStats stats;
+  stats.trials = trials;
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    const oracle::Database db(n_items, rng.uniform_below(n_items));
+    const ClassicalResult result = run(db, rng);
+    stats.probes.add(static_cast<double>(result.probes));
+    if (!result.correct) {
+      ++stats.failures;
+    }
+  }
+  return stats;
+}
+
+}  // namespace
+
+TrialStats measure_full_deterministic(std::uint64_t n_items,
+                                      std::uint64_t trials, Rng& rng) {
+  return measure(n_items, trials, rng,
+                 [](const oracle::Database& db, Rng&) {
+                   return full_search_deterministic(db);
+                 });
+}
+
+TrialStats measure_full_randomized(std::uint64_t n_items, std::uint64_t trials,
+                                   Rng& rng) {
+  return measure(n_items, trials, rng,
+                 [](const oracle::Database& db, Rng& r) {
+                   return full_search_randomized(db, r);
+                 });
+}
+
+TrialStats measure_partial_deterministic(std::uint64_t n_items,
+                                         std::uint64_t k_blocks,
+                                         std::uint64_t trials, Rng& rng) {
+  const oracle::BlockLayout layout(n_items, k_blocks);
+  return measure(n_items, trials, rng,
+                 [&layout](const oracle::Database& db, Rng&) {
+                   return partial_search_deterministic(db, layout);
+                 });
+}
+
+TrialStats measure_partial_randomized(std::uint64_t n_items,
+                                      std::uint64_t k_blocks,
+                                      std::uint64_t trials, Rng& rng) {
+  const oracle::BlockLayout layout(n_items, k_blocks);
+  return measure(n_items, trials, rng,
+                 [&layout](const oracle::Database& db, Rng& r) {
+                   return partial_search_randomized(db, layout, r);
+                 });
+}
+
+}  // namespace pqs::classical

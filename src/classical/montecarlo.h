@@ -1,0 +1,30 @@
+// Monte-Carlo measurement harness for the classical baselines: run many
+// trials with uniformly random targets and accumulate probe-count statistics
+// for comparison against the Appendix-A closed forms.
+#pragma once
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "common/stats.h"
+
+namespace pqs::classical {
+
+struct TrialStats {
+  RunningStats probes;       ///< probe counts across trials
+  std::uint64_t failures = 0;  ///< runs that returned the wrong answer (0!)
+  std::uint64_t trials = 0;
+};
+
+TrialStats measure_full_deterministic(std::uint64_t n_items,
+                                      std::uint64_t trials, Rng& rng);
+TrialStats measure_full_randomized(std::uint64_t n_items, std::uint64_t trials,
+                                   Rng& rng);
+TrialStats measure_partial_deterministic(std::uint64_t n_items,
+                                         std::uint64_t k_blocks,
+                                         std::uint64_t trials, Rng& rng);
+TrialStats measure_partial_randomized(std::uint64_t n_items,
+                                      std::uint64_t k_blocks,
+                                      std::uint64_t trials, Rng& rng);
+
+}  // namespace pqs::classical

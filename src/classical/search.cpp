@@ -1,0 +1,117 @@
+#include "classical/search.h"
+
+#include "common/check.h"
+
+namespace pqs::classical {
+
+ClassicalResult full_search_deterministic(const oracle::Database& db) {
+  const std::uint64_t before = db.queries();
+  ClassicalResult result;
+  const std::uint64_t n = db.size();
+  for (Index x = 0; x < n - 1; ++x) {
+    if (db.probe(x)) {
+      result.answer = x;
+      result.correct = x == db.target();
+      result.probes = db.queries() - before;
+      return result;
+    }
+  }
+  // Not in the first N-1 cells: it must be the last one (zero-error
+  // elimination, no probe spent).
+  result.answer = n - 1;
+  result.correct = result.answer == db.target();
+  result.probes = db.queries() - before;
+  return result;
+}
+
+ClassicalResult full_search_randomized(const oracle::Database& db, Rng& rng) {
+  const std::uint64_t before = db.queries();
+  ClassicalResult result;
+  const auto order = rng.permutation(db.size());
+  for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+    if (db.probe(order[i])) {
+      result.answer = order[i];
+      result.correct = result.answer == db.target();
+      result.probes = db.queries() - before;
+      return result;
+    }
+  }
+  result.answer = order.back();  // elimination
+  result.correct = result.answer == db.target();
+  result.probes = db.queries() - before;
+  return result;
+}
+
+ClassicalResult partial_search_deterministic(
+    const oracle::Database& db, const oracle::BlockLayout& layout) {
+  PQS_CHECK_MSG(layout.num_items() == db.size(), "layout/database mismatch");
+  const std::uint64_t before = db.queries();
+  ClassicalResult result;
+  const std::uint64_t k = layout.num_blocks();
+  for (std::uint64_t b = 0; b + 1 < k; ++b) {
+    for (Index x = layout.block_begin(b); x < layout.block_end(b); ++x) {
+      if (db.probe(x)) {
+        result.answer = b;
+        result.correct = b == layout.block_of(db.target());
+        result.probes = db.queries() - before;
+        return result;
+      }
+    }
+  }
+  // Probed K-1 full blocks without a hit: the target is in the last block.
+  result.answer = k - 1;
+  result.correct = result.answer == layout.block_of(db.target());
+  result.probes = db.queries() - before;
+  return result;
+}
+
+ClassicalResult partial_search_randomized(const oracle::Database& db,
+                                          const oracle::BlockLayout& layout,
+                                          Rng& rng) {
+  PQS_CHECK_MSG(layout.num_items() == db.size(), "layout/database mismatch");
+  const std::uint64_t before = db.queries();
+  ClassicalResult result;
+  const std::uint64_t k = layout.num_blocks();
+  const std::uint64_t excluded = rng.uniform_below(k);
+
+  // Random probe order over the K-1 kept blocks.
+  std::vector<Index> kept;
+  kept.reserve(layout.num_items() - layout.block_size());
+  for (std::uint64_t b = 0; b < k; ++b) {
+    if (b == excluded) {
+      continue;
+    }
+    for (Index x = layout.block_begin(b); x < layout.block_end(b); ++x) {
+      kept.push_back(x);
+    }
+  }
+  const auto order = rng.permutation(kept.size());
+  for (const auto idx : order) {
+    const Index x = kept[idx];
+    if (db.probe(x)) {
+      result.answer = layout.block_of(x);
+      result.correct = result.answer == layout.block_of(db.target());
+      result.probes = db.queries() - before;
+      return result;
+    }
+  }
+  // Every kept location missed: the target is in the excluded block.
+  result.answer = excluded;
+  result.correct = result.answer == layout.block_of(db.target());
+  result.probes = db.queries() - before;
+  return result;
+}
+
+double expected_probes_fixed_order(std::uint64_t n_items,
+                                   std::uint64_t k_blocks) {
+  PQS_CHECK(k_blocks >= 2 && n_items % k_blocks == 0);
+  const auto n = static_cast<double>(n_items);
+  const auto k = static_cast<double>(k_blocks);
+  const double probed = n * (1.0 - 1.0 / k);  // locations the algorithm scans
+  // Target among the probed cells (prob 1 - 1/K): uniform over them, so the
+  // expected hit position is (probed + 1)/2. Otherwise all `probed` cells are
+  // scanned before elimination answers.
+  return (1.0 - 1.0 / k) * (probed + 1.0) / 2.0 + (1.0 / k) * probed;
+}
+
+}  // namespace pqs::classical

@@ -1,0 +1,54 @@
+// Classical baselines (Section 1.1 and Appendix A).
+//
+// All algorithms are zero-error: they either find the target or prove by
+// elimination where it is. Costs are measured through the Database query
+// counter, the same meter the quantum algorithms use.
+#pragma once
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "oracle/blocks.h"
+#include "oracle/database.h"
+
+namespace pqs::classical {
+
+using oracle::Index;
+
+struct ClassicalResult {
+  Index answer = 0;           ///< address (full search) or block (partial)
+  bool correct = false;       ///< verified against ground truth
+  std::uint64_t probes = 0;   ///< queries consumed by this run
+};
+
+/// Deterministic full search: scan addresses 0, 1, ... until found.
+/// Worst case N probes (N-1 if the last cell is inferred by elimination).
+ClassicalResult full_search_deterministic(const oracle::Database& db);
+
+/// Zero-error randomized full search: probe in a uniformly random order.
+/// Expected (N+1)/2 probes; the paper quotes N/2.
+ClassicalResult full_search_randomized(const oracle::Database& db, Rng& rng);
+
+/// Deterministic partial search (Section 1.1): probe the first K-1 blocks;
+/// if the target is not there it must be in the last block. Worst case
+/// N (1 - 1/K) probes.
+ClassicalResult partial_search_deterministic(const oracle::Database& db,
+                                             const oracle::BlockLayout& layout);
+
+/// Zero-error randomized partial search (Section 1.1 / Appendix A): pick a
+/// random block to exclude, probe the other K-1 blocks in random order; on
+/// miss the excluded block is the answer. Expected
+/// N/2 (1 - 1/K^2) + (1 - 1/K)/2 probes — tight by Appendix A.
+ClassicalResult partial_search_randomized(const oracle::Database& db,
+                                          const oracle::BlockLayout& layout,
+                                          Rng& rng);
+
+/// Appendix A's bound specialized to a deterministic probe sequence: under a
+/// uniform random target, the expected probes of ANY zero-error
+/// deterministic partial-search algorithm are at least N/2 (1 - 1/K^2).
+/// This evaluates the expectation for the algorithm probing in the given
+/// fixed order (used by the lower-bound demonstration in the bench).
+double expected_probes_fixed_order(std::uint64_t n_items,
+                                   std::uint64_t k_blocks);
+
+}  // namespace pqs::classical

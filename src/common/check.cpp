@@ -1,0 +1,18 @@
+#include "common/check.h"
+
+#include <sstream>
+
+namespace pqs::detail {
+
+void check_failed(std::string_view expr, std::string_view message,
+                  const std::source_location& loc) {
+  std::ostringstream os;
+  os << "PQS_CHECK failed: (" << expr << ") at " << loc.file_name() << ':'
+     << loc.line();
+  if (!message.empty()) {
+    os << " — " << message;
+  }
+  throw CheckFailure(os.str());
+}
+
+}  // namespace pqs::detail

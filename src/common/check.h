@@ -1,0 +1,48 @@
+// Checked assertions used throughout the library.
+//
+// PQS_CHECK fires in every build type (Release included): violated invariants
+// in a numerical reproduction are bugs we want to see, not UB we want to hide.
+// PQS_DCHECK compiles out in Release for hot kernels.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace pqs {
+
+/// Thrown by PQS_CHECK failures; carries file:line and the failed expression.
+class CheckFailure : public std::logic_error {
+ public:
+  explicit CheckFailure(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void check_failed(std::string_view expr, std::string_view message,
+                               const std::source_location& loc);
+}  // namespace detail
+
+}  // namespace pqs
+
+#define PQS_CHECK(expr)                                                        \
+  do {                                                                         \
+    if (!(expr)) {                                                             \
+      ::pqs::detail::check_failed(#expr, "", std::source_location::current()); \
+    }                                                                          \
+  } while (false)
+
+#define PQS_CHECK_MSG(expr, msg)                                                \
+  do {                                                                          \
+    if (!(expr)) {                                                              \
+      ::pqs::detail::check_failed(#expr, (msg), std::source_location::current()); \
+    }                                                                           \
+  } while (false)
+
+#ifdef NDEBUG
+#define PQS_DCHECK(expr) \
+  do {                   \
+  } while (false)
+#else
+#define PQS_DCHECK(expr) PQS_CHECK(expr)
+#endif

@@ -1,0 +1,140 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace pqs {
+
+void RunningStats::add(double x) {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(count_);
+  const auto nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::mean() const {
+  PQS_CHECK_MSG(count_ > 0, "mean of empty accumulator");
+  return mean_;
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::sem() const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  return stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+double RunningStats::ci95_halfwidth() const { return 1.96 * sem(); }
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  PQS_CHECK(lo < hi);
+  PQS_CHECK(bins > 0);
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const double f = (x - lo_) / (hi_ - lo_);
+  auto idx = static_cast<std::size_t>(f * static_cast<double>(counts_.size()));
+  idx = std::min(idx, counts_.size() - 1);
+  ++counts_[idx];
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  PQS_CHECK(i < counts_.size());
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t i) const {
+  PQS_CHECK(i < counts_.size());
+  return lo_ + (hi_ - lo_) * static_cast<double>(i + 1) /
+                   static_cast<double>(counts_.size());
+}
+
+std::string Histogram::render(std::size_t bar_width) const {
+  std::uint64_t peak = 1;
+  for (const auto c : counts_) {
+    peak = std::max(peak, c);
+  }
+  std::ostringstream os;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto len = static_cast<std::size_t>(
+        static_cast<double>(counts_[i]) / static_cast<double>(peak) *
+        static_cast<double>(bar_width));
+    os << '[';
+    os.setf(std::ios::fixed);
+    os.precision(4);
+    os.width(10);
+    os << bin_lo(i) << ", ";
+    os.width(10);
+    os << bin_hi(i) << ") |" << std::string(len, '#') << "  " << counts_[i]
+       << '\n';
+  }
+  if (underflow_ != 0 || overflow_ != 0) {
+    os << "underflow: " << underflow_ << "  overflow: " << overflow_ << '\n';
+  }
+  return os.str();
+}
+
+std::string signed_bar(double value, double max_abs, std::size_t half_width) {
+  PQS_CHECK(max_abs > 0.0);
+  const double frac = std::clamp(value / max_abs, -1.0, 1.0);
+  const auto len = static_cast<std::size_t>(
+      std::round(std::fabs(frac) * static_cast<double>(half_width)));
+  std::string out(2 * half_width + 1, ' ');
+  out[half_width] = '|';
+  if (frac >= 0.0) {
+    for (std::size_t i = 0; i < len; ++i) {
+      out[half_width + 1 + i] = '#';
+    }
+  } else {
+    for (std::size_t i = 0; i < len; ++i) {
+      out[half_width - 1 - i] = '#';
+    }
+  }
+  return out;
+}
+
+}  // namespace pqs

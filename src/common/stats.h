@@ -1,0 +1,70 @@
+// Streaming statistics and histograms for the Monte-Carlo baselines and the
+// experiment reports.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace pqs {
+
+/// Welford streaming accumulator: mean / variance / min / max in one pass.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::uint64_t count() const { return count_; }
+  double mean() const;
+  /// Unbiased sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  /// Standard error of the mean.
+  double sem() const;
+  /// Half-width of the ~95% normal confidence interval (1.96 * sem).
+  double ci95_halfwidth() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-range histogram with uniform bins; used for amplitude histograms
+/// (Figure 5) and query-count distributions.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t bins() const { return counts_.size(); }
+  std::uint64_t bin_count(std::size_t i) const { return counts_.at(i); }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+  std::uint64_t total() const { return total_; }
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+
+  /// Multi-line ASCII rendering with proportional bars.
+  std::string render(std::size_t bar_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+};
+
+/// One-line signed bar chart used to render amplitude pictures like the
+/// paper's Figure 1 and Figure 5 (positive bars right, negative bars left).
+std::string signed_bar(double value, double max_abs, std::size_t half_width);
+
+}  // namespace pqs

@@ -1,0 +1,27 @@
+#include "common/timing.h"
+
+#include <sstream>
+
+namespace pqs {
+
+double Stopwatch::seconds() const {
+  const auto dt = Clock::now() - start_;
+  return std::chrono::duration<double>(dt).count();
+}
+
+std::string Stopwatch::human() const {
+  const double s = seconds();
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(2);
+  if (s >= 1.0) {
+    os << s << " s";
+  } else if (s >= 1e-3) {
+    os << s * 1e3 << " ms";
+  } else {
+    os << s * 1e6 << " us";
+  }
+  return os.str();
+}
+
+}  // namespace pqs

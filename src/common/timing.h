@@ -1,0 +1,29 @@
+// Wall-clock timing for benches and progress reporting.
+#pragma once
+
+#include <chrono>
+#include <string>
+
+namespace pqs {
+
+/// Simple steady-clock stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction / last reset.
+  double seconds() const;
+  /// Elapsed milliseconds.
+  double millis() const { return seconds() * 1e3; }
+
+  /// "1.23 s" / "45.6 ms" / "789 us" human rendering.
+  std::string human() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace pqs

@@ -1,0 +1,46 @@
+// Generic amplitude amplification (Brassard, Hoyer, Mosca, Tapp,
+// quant-ph/0005055 — paper ref [3]).
+//
+// Q = -A S0 A^{-1} S_t, where A is any state-preparation unitary, S0 flips
+// the sign of |0...0>, and S_t flips the sign of marked states. With A = the
+// Walsh-Hadamard transform, Q reduces to the standard Grover iteration
+// I0 . I_t (verified in tests). The paper's Step 1 and Step 2 are both
+// instances: A = H^(x)n globally, A = I (x) H^(x)(n-k) per block.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "oracle/marked_set.h"
+#include "qsim/state_vector.h"
+
+namespace pqs::grover {
+
+/// A unitary given by its action and its inverse's action on a state vector.
+struct Preparation {
+  std::function<void(qsim::StateVector&)> apply;
+  std::function<void(qsim::StateVector&)> apply_inverse;
+};
+
+/// The Walsh-Hadamard preparation (self-inverse).
+Preparation hadamard_preparation();
+
+/// Apply one amplification step Q = -A S0 A^{-1} S_t in place. One query.
+void amplification_step(qsim::StateVector& state, const Preparation& prep,
+                        const oracle::MarkedDatabase& db);
+
+/// Prepare A|0> and run `iterations` amplification steps.
+qsim::StateVector amplify(unsigned n_qubits, const Preparation& prep,
+                          const oracle::MarkedDatabase& db,
+                          std::uint64_t iterations);
+
+/// Initial success probability a = sum over marked |<x|A|0>|^2.
+double initial_success_probability(unsigned n_qubits, const Preparation& prep,
+                                   const oracle::MarkedDatabase& db);
+
+/// BHMT closed form: after j steps the success probability is
+/// sin^2((2j+1) theta_a) with theta_a = arcsin(sqrt(a)).
+double amplified_success_probability(double initial_probability,
+                                     std::uint64_t iterations);
+
+}  // namespace pqs::grover

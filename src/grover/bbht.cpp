@@ -1,0 +1,54 @@
+#include "grover/bbht.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math.h"
+
+namespace pqs::grover {
+
+BbhtResult search_unknown(const oracle::MarkedDatabase& db, Rng& rng,
+                          const BbhtOptions& options) {
+  PQS_CHECK_MSG(is_pow2(db.size()), "BBHT runs on power-of-two databases");
+  PQS_CHECK_MSG(options.lambda > 1.0 && options.lambda < 4.0 / 3.0 + 1e-9,
+                "lambda must lie in (1, 4/3]");
+  const unsigned n = log2_exact(db.size());
+  const double sqrt_n = std::sqrt(static_cast<double>(db.size()));
+  const std::uint64_t max_queries =
+      options.max_queries != 0
+          ? options.max_queries
+          : static_cast<std::uint64_t>(std::ceil(9.0 * sqrt_n));
+
+  BbhtResult result;
+  const std::uint64_t start_queries = db.queries();
+  double m = 1.0;
+  while (db.queries() - start_queries < max_queries) {
+    ++result.rounds;
+    const auto cap = static_cast<std::uint64_t>(std::ceil(m));
+    const std::uint64_t j = rng.uniform_below(cap);
+
+    auto state = qsim::StateVector::uniform(n);
+    for (std::uint64_t i = 0; i < j; ++i) {
+      db.apply_phase_oracle(state);
+      state.reflect_about_uniform();
+    }
+    const qsim::Index y = state.sample(rng);
+    if (db.probe(y)) {
+      result.found = y;
+      break;
+    }
+    m = std::min(options.lambda * m, sqrt_n);
+  }
+  result.queries = db.queries() - start_queries;
+  return result;
+}
+
+double bbht_expected_queries_bound(std::uint64_t n_items,
+                                   std::uint64_t n_marked) {
+  PQS_CHECK(n_marked >= 1 && n_marked <= n_items);
+  return 4.5 * std::sqrt(static_cast<double>(n_items) /
+                         static_cast<double>(n_marked));
+}
+
+}  // namespace pqs::grover

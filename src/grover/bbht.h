@@ -1,0 +1,46 @@
+// Quantum search with an unknown number of marked items
+// (Boyer, Brassard, Hoyer, Tapp, Fortschr. Phys. 46 (1998) — paper ref [2]).
+//
+// The partial-search paper cites BBHT as part of the optimality background
+// for standard search; the reduction in Theorem 2 also ends with a search
+// over a small residual set, for which the unknown-M algorithm is the
+// textbook tool. Expected cost O(sqrt(N/M)) queries when M items are marked.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/random.h"
+#include "oracle/marked_set.h"
+#include "qsim/state_vector.h"
+
+namespace pqs::grover {
+
+struct BbhtResult {
+  std::optional<qsim::Index> found;  ///< a marked address, if one was found
+  std::uint64_t queries = 0;         ///< total oracle queries (quantum + the
+                                     ///< classical verification probes)
+  std::uint64_t rounds = 0;          ///< number of generate-and-test rounds
+};
+
+struct BbhtOptions {
+  /// Growth factor for the iteration-count cap m; BBHT prove any
+  /// lambda in (1, 4/3) works, and recommend 6/5.
+  double lambda = 1.2;
+  /// Give up after this many oracle queries (the algorithm cannot detect
+  /// M = 0 on its own). 0 means use the BBHT default of 9 sqrt(N).
+  std::uint64_t max_queries = 0;
+};
+
+/// Run the BBHT loop: pick j uniform in [0, ceil(m)), apply j Grover
+/// iterations, measure, verify with one classical probe; on failure grow m by
+/// lambda (capped at sqrt(N)) and repeat.
+BbhtResult search_unknown(const oracle::MarkedDatabase& db, Rng& rng,
+                          const BbhtOptions& options = {});
+
+/// Expected query count ~ (per BBHT Theorem 3) at most 9/2 sqrt(N/M) for
+/// M >= 1 marked items; exposed for the tests that check the measured mean.
+double bbht_expected_queries_bound(std::uint64_t n_items,
+                                   std::uint64_t n_marked);
+
+}  // namespace pqs::grover

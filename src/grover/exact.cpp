@@ -1,0 +1,92 @@
+#include "grover/exact.h"
+
+#include <cmath>
+#include <complex>
+
+#include "common/check.h"
+#include "common/math.h"
+
+namespace pqs::grover {
+
+namespace {
+using Cplx = std::complex<double>;
+}
+
+ExactSchedule exact_schedule(std::uint64_t n_items) {
+  PQS_CHECK(n_items >= 2);
+  const double theta = grover_angle(n_items);
+  // Largest m with (2m+1) theta <= pi/2: stop short of the target, never
+  // overshoot. The 1e-9 guard keeps exact solutions (e.g. N = 4, where
+  // (2*1+1) theta = pi/2 precisely) from being rounded down by one.
+  const auto m = static_cast<std::uint64_t>(
+      std::max(0.0, std::floor((kHalfPi / theta - 1.0) / 2.0 + 1e-9)));
+  const double beta = kHalfPi - (2.0 * static_cast<double>(m) + 1.0) * theta;
+
+  ExactSchedule sched;
+  sched.plain_iterations = m;
+  if (beta < 1e-12) {
+    sched.final_step_needed = false;  // landed exactly on the target
+    return sched;
+  }
+
+  const double s = std::sin(theta);
+  const double c = std::cos(theta);
+  const double a_t = std::sin((2.0 * static_cast<double>(m) + 1.0) * theta);
+  const double a_r = std::cos((2.0 * static_cast<double>(m) + 1.0) * theta);
+
+  // Solve a_r + u (A e^{i phi} + B) = 0 with u = e^{i chi} - 1,
+  // A = a_t s c, B = a_r c^2. Eliminating phi (|e^{i phi}| = 1) yields
+  // |u|^2 = a_r^2 / (A^2 - B^2 + a_r^2 c^2) = a_r^2 / (s^2 c^2).
+  const double u_norm2 = (a_r * a_r) / (s * s * c * c);
+  PQS_CHECK_MSG(u_norm2 <= 4.0 + 1e-9,
+                "residual angle too large for a single matched iteration");
+  const double cos_chi = 1.0 - u_norm2 / 2.0;
+  const double sin_chi = clamped_sqrt(1.0 - cos_chi * cos_chi);
+  const Cplx u{cos_chi - 1.0, sin_chi};
+
+  const double big_a = a_t * s * c;
+  const double big_b = a_r * c * c;
+  const Cplx x = (-a_r - u * big_b) / (u * big_a);
+  PQS_CHECK_MSG(approx_eq(std::abs(x), 1.0, 1e-6),
+                "phase-matching solution is not a pure phase");
+
+  sched.oracle_phase = std::arg(x);
+  sched.diffusion_phase = std::atan2(sin_chi, cos_chi);
+  return sched;
+}
+
+std::uint64_t exact_query_count(std::uint64_t n_items) {
+  const auto sched = exact_schedule(n_items);
+  return sched.plain_iterations + (sched.final_step_needed ? 1 : 0);
+}
+
+qsim::StateVector evolve_exact(const oracle::Database& db) {
+  PQS_CHECK_MSG(is_pow2(db.size()),
+                "state-vector evolution needs a power-of-two database");
+  const unsigned n = log2_exact(db.size());
+  const auto sched = exact_schedule(db.size());
+
+  auto state = qsim::StateVector::uniform(n);
+  for (std::uint64_t i = 0; i < sched.plain_iterations; ++i) {
+    db.apply_phase_oracle(state);
+    state.reflect_about_uniform();
+  }
+  if (sched.final_step_needed) {
+    db.apply_phase_oracle(state, sched.oracle_phase);
+    state.rotate_blocks_about_uniform(0, sched.diffusion_phase);
+  }
+  return state;
+}
+
+SearchResult search_exact(const oracle::Database& db, Rng& rng) {
+  const std::uint64_t before = db.queries();
+  const auto state = evolve_exact(db);
+  SearchResult result;
+  result.success_probability = state.probability(db.target());
+  result.measured = state.sample(rng);
+  result.correct = result.measured == db.target();
+  result.queries = db.queries() - before;
+  return result;
+}
+
+}  // namespace pqs::grover

@@ -1,0 +1,52 @@
+#include "grover/grover.h"
+
+#include "common/check.h"
+#include "common/math.h"
+
+namespace pqs::grover {
+
+qsim::StateVector evolve(const oracle::Database& db,
+                         std::uint64_t iterations) {
+  PQS_CHECK_MSG(is_pow2(db.size()),
+                "state-vector evolution needs a power-of-two database");
+  const unsigned n = log2_exact(db.size());
+  auto state = qsim::StateVector::uniform(n);
+  for (std::uint64_t i = 0; i < iterations; ++i) {
+    db.apply_phase_oracle(state);   // It  (1 query)
+    state.reflect_about_uniform();  // I0  (no queries)
+  }
+  return state;
+}
+
+double success_probability_after(const oracle::Database& db,
+                                 std::uint64_t iterations) {
+  const auto state = evolve(db, iterations);
+  return state.probability(db.target());
+}
+
+SearchResult search(const oracle::Database& db, Rng& rng) {
+  return search_with_iterations(db, optimal_iterations(db.size()), rng);
+}
+
+SearchResult search_with_iterations(const oracle::Database& db,
+                                    std::uint64_t iterations, Rng& rng) {
+  const std::uint64_t before = db.queries();
+  const auto state = evolve(db, iterations);
+  SearchResult result;
+  result.success_probability = state.probability(db.target());
+  result.measured = state.sample(rng);
+  result.correct = result.measured == db.target();
+  result.queries = db.queries() - before;
+  return result;
+}
+
+std::uint64_t optimal_iterations(std::uint64_t n_items) {
+  return grover_optimal_iterations(n_items);
+}
+
+double angle_after(std::uint64_t n_items, std::uint64_t iterations) {
+  const double theta = grover_angle(n_items);
+  return (2.0 * static_cast<double>(iterations) + 1.0) * theta;
+}
+
+}  // namespace pqs::grover

@@ -1,0 +1,48 @@
+// Standard quantum database search (Grover, STOC 1996), in the exact form the
+// paper builds on: repeated application of A = I0 . It to the uniform start
+// state (Section 2.1). Includes the closed-form rotation-angle theory used by
+// every analysis in the reproduction.
+#pragma once
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "oracle/database.h"
+#include "qsim/state_vector.h"
+
+namespace pqs::grover {
+
+/// Outcome of a full search run.
+struct SearchResult {
+  qsim::Index measured = 0;   ///< address returned by the final measurement
+  bool correct = false;       ///< measured == target (ground truth)
+  std::uint64_t queries = 0;  ///< oracle queries consumed
+  double success_probability = 0.0;  ///< |<t|state before measurement>|^2
+};
+
+/// Prepare |psi0> and apply `iterations` Grover iterations A = I0 . It.
+/// Returns the pre-measurement state; `db.queries()` advances by
+/// `iterations`.
+qsim::StateVector evolve(const oracle::Database& db, std::uint64_t iterations);
+
+/// Success probability after m iterations, from the state vector (equals the
+/// closed form sin^2((2m+1) theta); tested against it).
+double success_probability_after(const oracle::Database& db,
+                                 std::uint64_t iterations);
+
+/// Full pipeline with the optimal iteration count: evolve, measure, report.
+SearchResult search(const oracle::Database& db, Rng& rng);
+
+/// Full pipeline with an explicit iteration count.
+SearchResult search_with_iterations(const oracle::Database& db,
+                                    std::uint64_t iterations, Rng& rng);
+
+/// The paper's headline number: (pi/4) sqrt(N) rounded to the optimal
+/// integer iteration count for a unique target among `n_items`.
+std::uint64_t optimal_iterations(std::uint64_t n_items);
+
+/// Angle of the state to the non-target axis after m iterations:
+/// (2m+1) * theta with sin(theta) = 1/sqrt(N). The Figure-3 trajectory.
+double angle_after(std::uint64_t n_items, std::uint64_t iterations);
+
+}  // namespace pqs::grover

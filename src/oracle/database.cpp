@@ -1,0 +1,55 @@
+#include "oracle/database.h"
+
+#include "common/check.h"
+#include "common/math.h"
+
+namespace pqs::oracle {
+
+Database::Database(std::uint64_t size, Index target)
+    : size_(size), target_(target) {
+  PQS_CHECK_MSG(size >= 1, "database must contain at least one item");
+  PQS_CHECK_MSG(target < size, "target address out of range");
+}
+
+Database Database::with_qubits(unsigned n_qubits, Index target) {
+  return Database(pow2(n_qubits), target);
+}
+
+bool Database::probe(Index x) const {
+  PQS_CHECK_MSG(x < size_, "probe address out of range");
+  ++queries_;
+  return x == target_;
+}
+
+void Database::apply_phase_oracle(qsim::StateVector& state) const {
+  PQS_CHECK_MSG(state.dimension() == size_,
+                "state dimension does not match database size");
+  ++queries_;
+  state.phase_flip(target_);
+}
+
+void Database::apply_phase_oracle(qsim::StateVector& state, double phi) const {
+  PQS_CHECK_MSG(state.dimension() == size_,
+                "state dimension does not match database size");
+  ++queries_;
+  state.phase_rotate(target_, phi);
+}
+
+void Database::apply_bit_oracle(qsim::StateVector& state_with_ancilla) const {
+  PQS_CHECK_MSG(state_with_ancilla.dimension() == 2 * size_,
+                "state must have one ancilla qubit above the address bits");
+  ++queries_;
+  // T_f swaps |t>|0> <-> |t>|1>. The ancilla is the top qubit, so the two
+  // components of the target address sit at t and t + N.
+  auto amps = state_with_ancilla.amplitudes();
+  std::swap(amps[target_], amps[target_ + size_]);
+}
+
+qsim::OracleView Database::view() const {
+  return qsim::OracleView{
+      .marked = [t = target_](Index x) { return x == t; },
+      .target = target_,
+  };
+}
+
+}  // namespace pqs::oracle

@@ -1,0 +1,45 @@
+#include "oracle/marked_set.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace pqs::oracle {
+
+MarkedDatabase::MarkedDatabase(std::uint64_t size, std::vector<Index> marked)
+    : size_(size), marked_(std::move(marked)) {
+  PQS_CHECK_MSG(size >= 1, "database must contain at least one item");
+  std::sort(marked_.begin(), marked_.end());
+  marked_.erase(std::unique(marked_.begin(), marked_.end()), marked_.end());
+  for (const Index m : marked_) {
+    PQS_CHECK_MSG(m < size_, "marked address out of range");
+  }
+}
+
+bool MarkedDatabase::probe(Index x) const {
+  PQS_CHECK_MSG(x < size_, "probe address out of range");
+  ++queries_;
+  return peek(x);
+}
+
+bool MarkedDatabase::peek(Index x) const {
+  return std::binary_search(marked_.begin(), marked_.end(), x);
+}
+
+void MarkedDatabase::apply_phase_oracle(qsim::StateVector& state) const {
+  PQS_CHECK_MSG(state.dimension() == size_,
+                "state dimension does not match database size");
+  ++queries_;
+  for (const Index m : marked_) {
+    state.phase_flip(m);
+  }
+}
+
+qsim::OracleView MarkedDatabase::view() const {
+  return qsim::OracleView{
+      .marked = [this](Index x) { return peek(x); },
+      .target = marked_.empty() ? 0 : marked_.front(),
+  };
+}
+
+}  // namespace pqs::oracle

@@ -1,0 +1,48 @@
+// The paper's motivating example (Section 1): a merit list — students sorted
+// by rank — where we only care which quartile (or other fraction) a student
+// falls in, i.e. the first k bits of the student's position.
+//
+// This is a thin domain wrapper over Database/BlockLayout used by the
+// merit_list example and tests; it also demonstrates how a user binds their
+// own data to the oracle abstraction.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "oracle/blocks.h"
+#include "oracle/database.h"
+
+namespace pqs::oracle {
+
+/// A ranked list of named students. Position i in the list = rank i (0-based,
+/// rank 0 is the top student). The searchable "database" maps positions to
+/// the predicate "is this position occupied by the student we are asking
+/// about?" — exactly the unique-marked-item oracle of the paper.
+class MeritList {
+ public:
+  /// Builds a list of `size` synthetic student names, deterministically
+  /// shuffled by `seed` so that name -> rank is not computable without
+  /// probing (that is the whole point of the search problem).
+  MeritList(std::uint64_t size, std::uint64_t seed);
+
+  std::uint64_t size() const { return names_by_rank_.size(); }
+  const std::string& name_at_rank(std::uint64_t rank) const;
+
+  /// The (counted-query) database whose target is `student`'s rank.
+  /// Throws if the student is not on the list.
+  Database database_for(const std::string& student) const;
+
+  /// Ground-truth rank (test/verification use; does not count queries).
+  std::uint64_t true_rank(const std::string& student) const;
+
+  /// Human label for a block under a K-way split, e.g. "top 25%".
+  static std::string fraction_label(std::uint64_t block,
+                                    std::uint64_t n_blocks);
+
+ private:
+  std::vector<std::string> names_by_rank_;
+};
+
+}  // namespace pqs::oracle

@@ -1,0 +1,95 @@
+#include "partial/grk.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math.h"
+#include "partial/optimizer.h"
+
+namespace pqs::partial {
+
+namespace {
+
+void copy_amplitudes(const qsim::StateVector& state,
+                     std::vector<qsim::Amplitude>& out) {
+  const auto amps = state.amplitudes();
+  out.assign(amps.begin(), amps.end());
+}
+
+}  // namespace
+
+qsim::StateVector evolve_partial_search(const oracle::Database& db, unsigned k,
+                                        std::uint64_t l1, std::uint64_t l2) {
+  PQS_CHECK_MSG(is_pow2(db.size()), "state-vector run needs N = 2^n");
+  const unsigned n = log2_exact(db.size());
+  PQS_CHECK_MSG(k >= 1 && k < n, "need 1 <= k < n");
+
+  auto state = qsim::StateVector::uniform(n);
+  for (std::uint64_t i = 0; i < l1; ++i) {
+    db.apply_phase_oracle(state);   // It
+    state.reflect_about_uniform();  // I0
+  }
+  for (std::uint64_t i = 0; i < l2; ++i) {
+    db.apply_phase_oracle(state);          // It
+    state.reflect_blocks_about_uniform(k);  // I_[K] (x) I0,[N/K]
+  }
+  // Step 3: one oracle query marks the target out; inversion about the mean
+  // of the remaining amplitudes.
+  db.add_queries(1);
+  state.reflect_non_target_about_their_mean(db.target());
+  return state;
+}
+
+GrkResult run_partial_search(const oracle::Database& db, unsigned k, Rng& rng,
+                             const GrkOptions& options) {
+  PQS_CHECK_MSG(is_pow2(db.size()), "state-vector run needs N = 2^n");
+  const unsigned n = log2_exact(db.size());
+  PQS_CHECK_MSG(k >= 1 && k < n, "need 1 <= k < n");
+
+  GrkResult result;
+  if (options.l1.has_value() && options.l2.has_value()) {
+    result.l1 = *options.l1;
+    result.l2 = *options.l2;
+  } else {
+    const double floor_p = options.min_success > 0.0
+                               ? options.min_success
+                               : default_min_success(db.size());
+    const auto opt = optimize_integer(db.size(), pow2(k), floor_p);
+    result.l1 = options.l1.value_or(opt.l1);
+    result.l2 = options.l2.value_or(opt.l2);
+  }
+
+  const std::uint64_t before = db.queries();
+  auto state = qsim::StateVector::uniform(n);
+  for (std::uint64_t i = 0; i < result.l1; ++i) {
+    db.apply_phase_oracle(state);
+    state.reflect_about_uniform();
+  }
+  if (options.capture_snapshots) {
+    copy_amplitudes(state, result.snapshots.after_step1);
+  }
+  for (std::uint64_t i = 0; i < result.l2; ++i) {
+    db.apply_phase_oracle(state);
+    state.reflect_blocks_about_uniform(k);
+  }
+  if (options.capture_snapshots) {
+    copy_amplitudes(state, result.snapshots.after_step2);
+  }
+  db.add_queries(1);
+  state.reflect_non_target_about_their_mean(db.target());
+  if (options.capture_snapshots) {
+    copy_amplitudes(state, result.snapshots.after_step3);
+  }
+
+  result.queries = db.queries() - before;
+  PQS_CHECK(result.queries == result.l1 + result.l2 + 1);
+
+  const qsim::Index target_block = db.target() >> (n - k);
+  result.block_probability = state.block_probability(k, target_block);
+  result.state_probability = state.probability(db.target());
+  result.measured_block = state.sample_block(k, rng);
+  result.correct = result.measured_block == target_block;
+  return result;
+}
+
+}  // namespace pqs::partial

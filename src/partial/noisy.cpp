@@ -1,0 +1,86 @@
+#include "partial/noisy.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math.h"
+#include "partial/optimizer.h"
+
+namespace pqs::partial {
+
+NoisyRunResult run_noisy_partial_search(const oracle::Database& db, unsigned k,
+                                        const qsim::NoiseModel& model,
+                                        std::uint64_t trials, Rng& rng) {
+  PQS_CHECK_MSG(is_pow2(db.size()), "state-vector run needs N = 2^n");
+  PQS_CHECK(trials > 0);
+  const unsigned n = log2_exact(db.size());
+  PQS_CHECK_MSG(k >= 1 && k < n, "need 1 <= k < n");
+
+  // Tight floor (error 1/sqrt N): the comparison against full search is
+  // only meaningful when both start from a near-1 clean baseline.
+  const auto opt = optimize_integer(
+      db.size(), pow2(k),
+      1.0 - 1.0 / std::sqrt(static_cast<double>(db.size())));
+  const qsim::Index target_block = db.target() >> (n - k);
+
+  NoisyRunResult result;
+  result.trials = trials;
+  result.queries_per_trial = opt.queries;
+  std::uint64_t correct = 0;
+  std::uint64_t injected_total = 0;
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    auto state = qsim::StateVector::uniform(n);
+    for (std::uint64_t i = 0; i < opt.l1; ++i) {
+      db.apply_phase_oracle(state);
+      injected_total += qsim::apply_noise(state, model, rng);
+      state.reflect_about_uniform();
+    }
+    for (std::uint64_t i = 0; i < opt.l2; ++i) {
+      db.apply_phase_oracle(state);
+      injected_total += qsim::apply_noise(state, model, rng);
+      state.reflect_blocks_about_uniform(k);
+    }
+    db.add_queries(1);
+    injected_total += qsim::apply_noise(state, model, rng);
+    state.reflect_non_target_about_their_mean(db.target());
+    correct += state.sample_block(k, rng) == target_block ? 1 : 0;
+  }
+  result.success_rate =
+      static_cast<double>(correct) / static_cast<double>(trials);
+  result.mean_injected =
+      static_cast<double>(injected_total) / static_cast<double>(trials);
+  return result;
+}
+
+NoisyRunResult run_noisy_full_search_block(const oracle::Database& db,
+                                           unsigned k,
+                                           const qsim::NoiseModel& model,
+                                           std::uint64_t trials, Rng& rng) {
+  PQS_CHECK_MSG(is_pow2(db.size()), "state-vector run needs N = 2^n");
+  PQS_CHECK(trials > 0);
+  const unsigned n = log2_exact(db.size());
+  const auto iterations = grover_optimal_iterations(db.size());
+  const qsim::Index target_block = db.target() >> (n - k);
+
+  NoisyRunResult result;
+  result.trials = trials;
+  result.queries_per_trial = iterations;
+  std::uint64_t correct = 0;
+  std::uint64_t injected_total = 0;
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    auto state = qsim::StateVector::uniform(n);
+    for (std::uint64_t i = 0; i < iterations; ++i) {
+      db.apply_phase_oracle(state);
+      injected_total += qsim::apply_noise(state, model, rng);
+      state.reflect_about_uniform();
+    }
+    correct += (state.sample(rng) >> (n - k)) == target_block ? 1 : 0;
+  }
+  result.success_rate =
+      static_cast<double>(correct) / static_cast<double>(trials);
+  result.mean_injected =
+      static_cast<double>(injected_total) / static_cast<double>(trials);
+  return result;
+}
+
+}  // namespace pqs::partial

@@ -1,0 +1,137 @@
+#include "partial/optimizer.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/math.h"
+
+namespace pqs::partial {
+
+StepAngles step_angles(double eps, std::uint64_t k_blocks) {
+  PQS_CHECK(k_blocks >= 2);
+  PQS_CHECK_MSG(eps >= 0.0 && eps <= 1.0, "eps must lie in [0, 1]");
+  const auto k = static_cast<double>(k_blocks);
+  StepAngles a;
+  a.theta = kHalfPi * eps;
+  const double s = std::sin(a.theta);
+  a.alpha = clamped_sqrt(1.0 - (k - 1.0) / k * s * s);
+  const double arg1 = s / (a.alpha * std::sqrt(k));
+  const double arg2 = (k - 2.0) * s / (2.0 * a.alpha * std::sqrt(k));
+  if (arg1 > 1.0 + 1e-12 || arg2 > 1.0 + 1e-12) {
+    a.feasible = false;
+    return a;
+  }
+  a.theta1 = clamped_asin(arg1);
+  a.theta2 = clamped_asin(arg2);
+  a.feasible = true;
+  return a;
+}
+
+double query_coefficient(double eps, std::uint64_t k_blocks) {
+  const StepAngles a = step_angles(eps, k_blocks);
+  if (!a.feasible) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const auto k = static_cast<double>(k_blocks);
+  return kQuarterPi * (1.0 - eps) +
+         (a.theta1 + a.theta2) / (2.0 * std::sqrt(k));
+}
+
+EpsilonOptimum optimize_epsilon(std::uint64_t k_blocks) {
+  // Dense grid to localize the optimum (the function is smooth and unimodal
+  // on the feasible region, but the feasible region can end before eps = 1).
+  constexpr int kGrid = 4000;
+  double best_eps = 0.0;
+  double best_c = query_coefficient(0.0, k_blocks);
+  for (int i = 1; i <= kGrid; ++i) {
+    const double eps = static_cast<double>(i) / kGrid;
+    const double c = query_coefficient(eps, k_blocks);
+    if (c < best_c) {
+      best_c = c;
+      best_eps = eps;
+    }
+  }
+  // Golden-section refinement on [best - h, best + h].
+  const double h = 1.0 / kGrid;
+  double lo = std::max(0.0, best_eps - h);
+  double hi = std::min(1.0, best_eps + h);
+  const double gr = (std::sqrt(5.0) - 1.0) / 2.0;
+  double x1 = hi - gr * (hi - lo);
+  double x2 = lo + gr * (hi - lo);
+  double f1 = query_coefficient(x1, k_blocks);
+  double f2 = query_coefficient(x2, k_blocks);
+  for (int iter = 0; iter < 200 && hi - lo > 1e-12; ++iter) {
+    if (f1 < f2) {
+      hi = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = hi - gr * (hi - lo);
+      f1 = query_coefficient(x1, k_blocks);
+    } else {
+      lo = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = lo + gr * (hi - lo);
+      f2 = query_coefficient(x2, k_blocks);
+    }
+  }
+  EpsilonOptimum opt;
+  opt.epsilon = (lo + hi) / 2.0;
+  opt.coefficient = query_coefficient(opt.epsilon, k_blocks);
+  if (best_c < opt.coefficient) {  // grid point beat the refinement bracket
+    opt.epsilon = best_eps;
+    opt.coefficient = best_c;
+  }
+  opt.angles = step_angles(opt.epsilon, k_blocks);
+  return opt;
+}
+
+IntegerOptimum optimize_integer(std::uint64_t n_items, std::uint64_t k_blocks,
+                                double min_success, std::uint64_t n_marked) {
+  const SubspaceModel model(n_items, k_blocks, n_marked);
+  const double sqrt_n = std::sqrt(static_cast<double>(n_items));
+  const double sqrt_block = std::sqrt(static_cast<double>(model.block_size()));
+  const auto l1_max =
+      static_cast<std::uint64_t>(std::ceil(kQuarterPi * sqrt_n)) + 2;
+  const auto l2_max =
+      static_cast<std::uint64_t>(std::ceil(kHalfPi * sqrt_block)) + 2;
+
+  IntegerOptimum best;
+  best.queries = std::numeric_limits<std::uint64_t>::max();
+
+  SubspaceState after_l1 = model.uniform_start();
+  for (std::uint64_t l1 = 0; l1 <= l1_max; ++l1) {
+    if (l1 + 1 >= best.queries) {
+      break;  // even l2 = 0 cannot beat the incumbent
+    }
+    SubspaceState s = after_l1;
+    for (std::uint64_t l2 = 0; l2 <= l2_max; ++l2) {
+      const std::uint64_t queries = l1 + l2 + 1;
+      if (queries >= best.queries) {
+        break;
+      }
+      const double p = model.apply_step3(s).target_block_probability();
+      if (p >= min_success) {
+        best = IntegerOptimum{l1, l2, queries, p};
+        break;
+      }
+      s = model.apply_local(s);
+    }
+    after_l1 = model.apply_global(after_l1);
+  }
+  PQS_CHECK_MSG(best.queries != std::numeric_limits<std::uint64_t>::max(),
+                "no (l1, l2) met the success floor; floor too high?");
+  return best;
+}
+
+double default_min_success(std::uint64_t n_items) {
+  return 1.0 - 4.0 / std::sqrt(static_cast<double>(n_items));
+}
+
+double recipe_coefficient(std::uint64_t k_blocks) {
+  return query_coefficient(1.0 / std::sqrt(static_cast<double>(k_blocks)),
+                           k_blocks);
+}
+
+}  // namespace pqs::partial

@@ -1,0 +1,73 @@
+// Optimizing the iteration split of the partial-search algorithm.
+//
+// Two regimes:
+//
+//   * Asymptotic (N -> infinity): minimize the query coefficient
+//       c(eps, K) = (pi/4)(1 - eps) + (theta1 + theta2) / (2 sqrt(K))
+//     with theta = (pi/2) eps and eq. (3)/(4) of the paper giving
+//     theta1/theta2. This regenerates the "Upper bound" column of the
+//     Section-3.1 table (0.555 / 0.592 / 0.615 / 0.633 / 0.664 / 0.725).
+//
+//   * Finite N: exact integer search over (l1, l2) on the SubspaceModel,
+//     minimizing l1 + l2 + 1 subject to a success-probability floor. This is
+//     what an implementation would actually run, and what the state-vector
+//     benches execute.
+#pragma once
+
+#include <cstdint>
+
+#include "partial/analytic.h"
+
+namespace pqs::partial {
+
+/// The eq. (3)/(4) geometry for a given eps, in the N -> infinity limit.
+struct StepAngles {
+  double theta = 0.0;   ///< residual angle after Step 1: (pi/2) eps
+  double alpha = 0.0;   ///< alpha_yt = sqrt(1 - (K-1)/K sin^2 theta)
+  double theta1 = 0.0;  ///< arcsin( sin(theta) / (alpha sqrt(K)) )
+  double theta2 = 0.0;  ///< arcsin( (K-2) sin(theta) / (2 alpha sqrt(K)) )
+  bool feasible = false;  ///< theta2's arcsin argument was within [0, 1]
+};
+
+/// Compute the step angles; feasible == false when eps is too large for the
+/// half-average condition to be reachable (arcsin argument > 1; happens for
+/// K > 4 as eps -> 1).
+StepAngles step_angles(double eps, std::uint64_t k_blocks);
+
+/// The asymptotic query coefficient c(eps, K); +infinity when infeasible.
+double query_coefficient(double eps, std::uint64_t k_blocks);
+
+struct EpsilonOptimum {
+  double epsilon = 0.0;
+  double coefficient = 0.0;  ///< c(eps*, K): multiply by sqrt(N) for queries
+  StepAngles angles;
+};
+
+/// Minimize c(eps, K) over the feasible eps in [0, 1]:
+/// dense grid + golden-section refinement.
+EpsilonOptimum optimize_epsilon(std::uint64_t k_blocks);
+
+struct IntegerOptimum {
+  std::uint64_t l1 = 0;
+  std::uint64_t l2 = 0;
+  std::uint64_t queries = 0;  ///< l1 + l2 + 1
+  double success = 0.0;       ///< target-block probability achieved
+};
+
+/// Exact finite-N optimum: smallest l1 + l2 + 1 whose Step-3 output has
+/// target-block probability >= min_success. O(sqrt(N) * sqrt(N/K)) time,
+/// O(1) memory. `n_marked > 1` optimizes the multi-marked generalization
+/// (all marked items in one block; see SubspaceModel).
+IntegerOptimum optimize_integer(std::uint64_t n_items, std::uint64_t k_blocks,
+                                double min_success,
+                                std::uint64_t n_marked = 1);
+
+/// The success floor used throughout the reproduction when none is given:
+/// 1 - 4/sqrt(N) (the paper's guarantee is 1 - O(1/sqrt(N))).
+double default_min_success(std::uint64_t n_items);
+
+/// The paper's concrete large-K recipe: eps = 1/sqrt(K). Returns its
+/// asymptotic coefficient (upper-bounded by (pi/4)(1 - 0.42/sqrt(K))).
+double recipe_coefficient(std::uint64_t k_blocks);
+
+}  // namespace pqs::partial

@@ -1,0 +1,46 @@
+// Closed-form phase matching for generalized Grover iterations.
+//
+// Both sure-success constructions in this library (full search in
+// grover/exact.*, partial search in partial/certainty.*) end with one
+// generalized iteration D(chi) . O(phi): the oracle multiplies the target
+// amplitude by e^{i phi}, and the diffusion is replaced by the rotation
+// I + (e^{i chi} - 1)|u><u| about the relevant uniform axis u.
+//
+// In the 2-D invariant plane spanned by the target direction and its
+// complement, the effect on the complement amplitude is
+//
+//     a' = a + u (A e^{i phi} + B),   u = e^{i chi} - 1,
+//
+// with real constants A (cross term), B (self term) determined by the
+// geometry. Requiring a' = a + R for a chosen real displacement R and
+// |e^{i phi}| = 1 gives |u|^2 = R^2 / (A^2 - B^2 - R B) in closed form; this
+// header solves that equation.
+#pragma once
+
+namespace pqs::partial {
+
+struct PhaseMatch {
+  bool feasible = false;  ///< false when one iteration cannot reach R
+  double oracle_phase = 0.0;     ///< phi
+  double diffusion_phase = 0.0;  ///< chi
+};
+
+/// Solve u (A e^{i phi} + B) = R for (phi, chi). `A` must be nonzero.
+/// Infeasible when R^2 / (A^2 - B^2 - R B) is not in (0, 4] (the single
+/// generalized iteration cannot produce that displacement).
+PhaseMatch solve_phase_match(double A, double B, double R);
+
+/// The affine form needed when the *other* amplitudes also pick up the
+/// rotation phase: solve
+///
+///     a0 + (e^{i chi} - 1)(A e^{i phi} + B) = C e^{i chi}
+///
+/// for (phi, chi), with A, B, a0, C all real. This is the sure-success
+/// partial-search condition: after the generalized local iteration the
+/// non-target amplitude carries e^{i chi}, so the target-block rest
+/// amplitude must land on C e^{i chi} for Step 3 to cancel exactly.
+/// Closed form: cos(chi) = (P^2 + Q^2 - 2 A^2) / (2 P Q - 2 A^2) with
+/// P = C - B, Q = a0 - B.
+PhaseMatch solve_phase_match_affine(double A, double B, double a0, double C);
+
+}  // namespace pqs::partial

@@ -1,0 +1,138 @@
+#include "partial/twelve.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/stats.h"
+#include "qsim/kernels.h"
+
+namespace pqs::partial {
+
+namespace {
+
+using qsim::Amplitude;
+using qsim::Index;
+
+std::vector<double> real_parts(const std::vector<Amplitude>& amps) {
+  std::vector<double> out(amps.size());
+  for (std::size_t i = 0; i < amps.size(); ++i) {
+    out[i] = amps[i].real();
+  }
+  return out;
+}
+
+/// The five-stage pattern on an arbitrary (N, K) database; returns the
+/// per-stage amplitudes.
+std::array<std::vector<double>, Figure1Trace::kStages> run_pattern(
+    std::uint64_t n_items, std::uint64_t k_blocks, Index target) {
+  PQS_CHECK(k_blocks >= 2 && n_items % k_blocks == 0);
+  PQS_CHECK(n_items / k_blocks >= 2);
+  PQS_CHECK(target < n_items);
+  const std::size_t block = n_items / k_blocks;
+
+  std::vector<Amplitude> amps(
+      n_items,
+      Amplitude{1.0 / std::sqrt(static_cast<double>(n_items)), 0.0});
+  std::array<std::vector<double>, Figure1Trace::kStages> stages;
+  stages[0] = real_parts(amps);  // (A)
+
+  qsim::kernels::phase_flip_index(amps, target);  // (B), query 1
+  stages[1] = real_parts(amps);
+
+  qsim::kernels::reflect_blocks_about_uniform(amps, block);  // (C)
+  stages[2] = real_parts(amps);
+
+  qsim::kernels::phase_flip_index(amps, target);  // (D), query 2
+  stages[3] = real_parts(amps);
+
+  qsim::kernels::reflect_about_uniform(amps);  // (E)
+  stages[4] = real_parts(amps);
+  return stages;
+}
+
+}  // namespace
+
+std::string Figure1Trace::render() const {
+  static constexpr const char* kLabels[kStages] = {
+      "(A) uniform superposition",
+      "(B) invert target amplitude          [query 1]",
+      "(C) invert about block averages",
+      "(D) invert target amplitude again    [query 2]",
+      "(E) invert about global average"};
+  double max_abs = 1e-12;
+  for (const auto& stage : stages) {
+    for (const double a : stage) {
+      max_abs = std::max(max_abs, std::fabs(a));
+    }
+  }
+  std::ostringstream os;
+  for (std::size_t s = 0; s < kStages; ++s) {
+    os << kLabels[s] << '\n';
+    for (std::size_t i = 0; i < stages[s].size(); ++i) {
+      os.setf(std::ios::fixed);
+      os.precision(4);
+      os << "  " << (i < 10 ? " " : "") << i << "  "
+         << signed_bar(stages[s][i], max_abs, 18) << "  ";
+      os.width(8);
+      os << stages[s][i] << '\n';
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+Figure1Trace run_figure1(Index target) {
+  constexpr std::uint64_t kItems = 12;
+  constexpr std::uint64_t kBlocks = 3;
+  PQS_CHECK_MSG(target < kItems, "target must be one of the twelve items");
+
+  Figure1Trace trace;
+  trace.stages = run_pattern(kItems, kBlocks, target);
+  trace.queries = 2;
+
+  const auto& final_stage = trace.stages[Figure1Trace::kStages - 1];
+  const std::size_t block = kItems / kBlocks;
+  const std::size_t target_block = target / block;
+  double block_p = 0.0;
+  for (std::size_t i = target_block * block; i < (target_block + 1) * block;
+       ++i) {
+    block_p += final_stage[i] * final_stage[i];
+  }
+  trace.block_probability = block_p;
+  trace.target_probability = final_stage[target] * final_stage[target];
+  return trace;
+}
+
+double two_query_block_probability(std::uint64_t n_items,
+                                   std::uint64_t k_blocks, Index target) {
+  const auto stages = run_pattern(n_items, k_blocks, target);
+  const auto& final_stage = stages[Figure1Trace::kStages - 1];
+  const std::size_t block = n_items / k_blocks;
+  const std::size_t target_block = target / block;
+  double block_p = 0.0;
+  for (std::size_t i = target_block * block; i < (target_block + 1) * block;
+       ++i) {
+    block_p += final_stage[i] * final_stage[i];
+  }
+  return block_p;
+}
+
+std::vector<TwoQueryInstance> two_query_instances(std::uint64_t max_items) {
+  // Exactness condition (derived by requiring the global mean at stage (E)
+  // to be half the non-target amplitude): 2 (N - N/K - 2) = N, i.e.
+  // N (K - 2) = 4 K, i.e. N = 4K / (K - 2).
+  std::vector<TwoQueryInstance> out;
+  for (std::uint64_t k = 3; k <= max_items; ++k) {
+    if ((4 * k) % (k - 2) != 0) {
+      continue;
+    }
+    const std::uint64_t n = 4 * k / (k - 2);
+    if (n <= max_items && n % k == 0 && n / k >= 2) {
+      out.push_back(TwoQueryInstance{n, k});
+    }
+  }
+  return out;
+}
+
+}  // namespace pqs::partial

@@ -1,0 +1,250 @@
+#include "qsim/circuit.h"
+
+#include <sstream>
+
+#include "common/check.h"
+#include "common/math.h"
+#include "qsim/kernels.h"
+
+namespace pqs::qsim {
+
+namespace {
+
+struct QueryCostVisitor {
+  std::uint64_t operator()(const OracleOp&) const { return 1; }
+  std::uint64_t operator()(const OraclePhaseOp&) const { return 1; }
+  std::uint64_t operator()(const NonTargetMeanOp&) const { return 1; }
+  template <typename T>
+  std::uint64_t operator()(const T&) const {
+    return 0;
+  }
+};
+
+struct NameVisitor {
+  std::string operator()(const Gate1Op& op) const {
+    return op.g.name + "(q" + std::to_string(op.q) + ")";
+  }
+  std::string operator()(const CGate1Op& op) const {
+    return "C[" + std::to_string(op.control_mask) + "]" + op.g.name + "(q" +
+           std::to_string(op.q) + ")";
+  }
+  std::string operator()(const LayerOp& op) const {
+    return op.g.name + "^(x)n";
+  }
+  std::string operator()(const OracleOp&) const { return "Oracle(It)"; }
+  std::string operator()(const OraclePhaseOp& op) const {
+    return "OraclePhase(" + std::to_string(op.phi) + ")";
+  }
+  std::string operator()(const GlobalDiffusionOp&) const { return "I0"; }
+  std::string operator()(const BlockDiffusionOp& op) const {
+    return "I0[blocks k=" + std::to_string(op.k) + "]";
+  }
+  std::string operator()(const BlockRotationOp& op) const {
+    return "Rot[blocks k=" + std::to_string(op.k) + ", phi=" +
+           std::to_string(op.phi) + "]";
+  }
+  std::string operator()(const PhaseFlipKnownOp& op) const {
+    return "FlipKnown(" + std::to_string(op.x) + ")";
+  }
+  std::string operator()(const MczOp& op) const {
+    return "MCZ(mask=" + std::to_string(op.mask) + ")";
+  }
+  std::string operator()(const GlobalPhaseOp&) const { return "GlobalPhase"; }
+  std::string operator()(const NonTargetMeanOp&) const {
+    return "NonTargetMeanReflect";
+  }
+};
+
+}  // namespace
+
+std::uint64_t op_query_cost(const Op& op) {
+  return std::visit(QueryCostVisitor{}, op);
+}
+
+std::string op_name(const Op& op) { return std::visit(NameVisitor{}, op); }
+
+Circuit::Circuit(unsigned n_qubits) : n_qubits_(n_qubits) {
+  PQS_CHECK(n_qubits >= 1 && n_qubits <= kMaxQubits);
+}
+
+Circuit& Circuit::add(Op op) {
+  ops_.push_back(std::move(op));
+  return *this;
+}
+
+Circuit& Circuit::gate1(unsigned q, const Gate2& g) {
+  PQS_CHECK_MSG(q < n_qubits_, "qubit index out of range");
+  return add(Gate1Op{q, g});
+}
+
+Circuit& Circuit::controlled(std::uint64_t control_mask, unsigned q,
+                             const Gate2& g) {
+  PQS_CHECK_MSG(q < n_qubits_, "qubit index out of range");
+  return add(CGate1Op{control_mask, q, g});
+}
+
+Circuit& Circuit::layer(const Gate2& g) { return add(LayerOp{g}); }
+
+Circuit& Circuit::oracle() { return add(OracleOp{}); }
+
+Circuit& Circuit::oracle_phase(double phi) { return add(OraclePhaseOp{phi}); }
+
+Circuit& Circuit::global_diffusion() { return add(GlobalDiffusionOp{}); }
+
+Circuit& Circuit::block_diffusion(unsigned k) {
+  PQS_CHECK_MSG(k >= 1 && k < n_qubits_, "block bits out of range");
+  return add(BlockDiffusionOp{k});
+}
+
+Circuit& Circuit::block_rotation(unsigned k, double phi) {
+  PQS_CHECK_MSG(k >= 1 && k < n_qubits_, "block bits out of range");
+  return add(BlockRotationOp{k, phi});
+}
+
+Circuit& Circuit::grover_iteration() {
+  oracle();
+  return global_diffusion();
+}
+
+Circuit& Circuit::partial_iteration(unsigned k) {
+  oracle();
+  return block_diffusion(k);
+}
+
+Circuit& Circuit::global_diffusion_gate_level() {
+  layer(gates::H());
+  layer(gates::X());
+  add(MczOp{pow2(n_qubits_) - 1});
+  layer(gates::X());
+  layer(gates::H());
+  return add(GlobalPhaseOp{Amplitude{-1.0, 0.0}});
+}
+
+Circuit& Circuit::non_target_mean_reflection() {
+  return add(NonTargetMeanOp{});
+}
+
+std::uint64_t Circuit::query_count() const {
+  std::uint64_t total = 0;
+  for (const auto& op : ops_) {
+    total += op_query_cost(op);
+  }
+  return total;
+}
+
+namespace {
+
+struct ApplyVisitor {
+  StateVector& state;
+  const OracleView& oracle;
+  bool oracle_as_identity;
+
+  void operator()(const Gate1Op& op) const { state.apply_gate1(op.q, op.g); }
+  void operator()(const CGate1Op& op) const {
+    state.apply_controlled_gate1(op.control_mask, op.q, op.g);
+  }
+  void operator()(const LayerOp& op) const {
+    for (unsigned q = 0; q < state.num_qubits(); ++q) {
+      state.apply_gate1(q, op.g);
+    }
+  }
+  void operator()(const OracleOp&) const {
+    if (oracle_as_identity) {
+      return;
+    }
+    kernels::phase_flip_if(state.amplitudes(), oracle.marked);
+  }
+  void operator()(const OraclePhaseOp& op) const {
+    if (oracle_as_identity) {
+      return;
+    }
+    const Amplitude factor = std::polar(1.0, op.phi);
+    auto amps = state.amplitudes();
+    for (std::size_t i = 0; i < amps.size(); ++i) {
+      if (oracle.marked(static_cast<Index>(i))) {
+        amps[i] *= factor;
+      }
+    }
+  }
+  void operator()(const GlobalDiffusionOp&) const {
+    state.reflect_about_uniform();
+  }
+  void operator()(const BlockDiffusionOp& op) const {
+    state.reflect_blocks_about_uniform(op.k);
+  }
+  void operator()(const BlockRotationOp& op) const {
+    state.rotate_blocks_about_uniform(op.k, op.phi);
+  }
+  void operator()(const PhaseFlipKnownOp& op) const { state.phase_flip(op.x); }
+  void operator()(const MczOp& op) const {
+    kernels::phase_flip_mask_all_ones(state.amplitudes(), op.mask);
+  }
+  void operator()(const GlobalPhaseOp& op) const {
+    kernels::scale(state.amplitudes(), op.phase);
+  }
+  void operator()(const NonTargetMeanOp&) const {
+    if (oracle_as_identity) {
+      return;
+    }
+    state.reflect_non_target_about_their_mean(oracle.target);
+  }
+};
+
+}  // namespace
+
+std::uint64_t Circuit::apply(StateVector& state,
+                             const OracleView& oracle) const {
+  return apply_range(state, oracle, 0, ops_.size());
+}
+
+std::uint64_t Circuit::apply_range(StateVector& state,
+                                   const OracleView& oracle, std::size_t begin,
+                                   std::size_t end) const {
+  PQS_CHECK_MSG(begin <= end && end <= ops_.size(), "bad op range");
+  PQS_CHECK_MSG(state.num_qubits() == n_qubits_, "qubit count mismatch");
+  std::uint64_t queries = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    std::visit(ApplyVisitor{state, oracle, /*oracle_as_identity=*/false},
+               ops_[i]);
+    queries += op_query_cost(ops_[i]);
+  }
+  return queries;
+}
+
+std::uint64_t Circuit::apply_hybrid(StateVector& state,
+                                    const OracleView& oracle,
+                                    std::uint64_t identity_until_query) const {
+  PQS_CHECK_MSG(state.num_qubits() == n_qubits_, "qubit count mismatch");
+  std::uint64_t queries_seen = 0;
+  std::uint64_t real_queries = 0;
+  for (const auto& op : ops_) {
+    const std::uint64_t cost = op_query_cost(op);
+    const bool as_identity = cost > 0 && queries_seen < identity_until_query;
+    std::visit(ApplyVisitor{state, oracle, as_identity}, op);
+    queries_seen += cost;
+    if (cost > 0 && !as_identity) {
+      real_queries += cost;
+    }
+  }
+  return real_queries;
+}
+
+std::string Circuit::to_string() const {
+  std::ostringstream os;
+  os << "Circuit(n=" << n_qubits_ << ", ops=" << ops_.size()
+     << ", queries=" << query_count() << ")\n";
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    os << "  " << i << ": " << op_name(ops_[i]) << '\n';
+  }
+  return os.str();
+}
+
+Circuit make_grover_circuit(unsigned n_qubits, std::uint64_t iterations) {
+  Circuit c(n_qubits);
+  for (std::uint64_t i = 0; i < iterations; ++i) {
+    c.grover_iteration();
+  }
+  return c;
+}
+
+}  // namespace pqs::qsim

@@ -1,0 +1,114 @@
+#include "qsim/gates.h"
+
+#include <cmath>
+
+#include "common/math.h"
+
+namespace pqs::qsim {
+
+namespace {
+constexpr Amplitude kI{0.0, 1.0};
+}
+
+Gate2 Gate2::compose(const Gate2& first) const {
+  Gate2 out;
+  out.name = name + "*" + first.name;
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 2; ++c) {
+      out.m[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] =
+          m[static_cast<std::size_t>(r)][0] *
+              first.m[0][static_cast<std::size_t>(c)] +
+          m[static_cast<std::size_t>(r)][1] *
+              first.m[1][static_cast<std::size_t>(c)];
+    }
+  }
+  return out;
+}
+
+Gate2 Gate2::adjoint() const {
+  Gate2 out;
+  out.name = name + "^dag";
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 2; ++c) {
+      out.m[r][c] = std::conj(m[c][r]);
+    }
+  }
+  return out;
+}
+
+double Gate2::distance(const Gate2& other) const {
+  double d2 = 0.0;
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 2; ++c) {
+      d2 += std::norm(m[r][c] - other.m[r][c]);
+    }
+  }
+  return std::sqrt(d2);
+}
+
+double Gate2::unitarity_defect() const {
+  const Gate2 prod = compose(adjoint());
+  Gate2 eye = gates::I();
+  return prod.distance(eye);
+}
+
+namespace gates {
+
+Gate2 I() { return Gate2{{{{1.0, 0.0}, {0.0, 1.0}}}, "I"}; }
+
+Gate2 H() {
+  const double s = 1.0 / std::sqrt(2.0);
+  return Gate2{{{{s, s}, {s, -s}}}, "H"};
+}
+
+Gate2 X() { return Gate2{{{{0.0, 1.0}, {1.0, 0.0}}}, "X"}; }
+
+Gate2 Y() { return Gate2{{{{0.0, -kI}, {kI, 0.0}}}, "Y"}; }
+
+Gate2 Z() { return Gate2{{{{1.0, 0.0}, {0.0, -1.0}}}, "Z"}; }
+
+Gate2 S() { return Gate2{{{{1.0, 0.0}, {0.0, kI}}}, "S"}; }
+
+Gate2 Sdg() { return Gate2{{{{1.0, 0.0}, {0.0, -kI}}}, "Sdg"}; }
+
+Gate2 T() {
+  return Gate2{{{{1.0, 0.0}, {0.0, std::polar(1.0, kQuarterPi)}}}, "T"};
+}
+
+Gate2 Tdg() {
+  return Gate2{{{{1.0, 0.0}, {0.0, std::polar(1.0, -kQuarterPi)}}}, "Tdg"};
+}
+
+Gate2 Phase(double phi) {
+  return Gate2{{{{1.0, 0.0}, {0.0, std::polar(1.0, phi)}}}, "P"};
+}
+
+Gate2 Rx(double theta) {
+  const double c = std::cos(theta / 2.0);
+  const double s = std::sin(theta / 2.0);
+  return Gate2{{{{c, -kI * s}, {-kI * s, c}}}, "Rx"};
+}
+
+Gate2 Ry(double theta) {
+  const double c = std::cos(theta / 2.0);
+  const double s = std::sin(theta / 2.0);
+  return Gate2{{{{c, -s}, {s, c}}}, "Ry"};
+}
+
+Gate2 Rz(double theta) {
+  return Gate2{{{{std::polar(1.0, -theta / 2.0), 0.0},
+                 {0.0, std::polar(1.0, theta / 2.0)}}},
+               "Rz"};
+}
+
+Gate2 U(double theta, double phi, double lambda) {
+  const double c = std::cos(theta / 2.0);
+  const double s = std::sin(theta / 2.0);
+  return Gate2{{{{Amplitude{c, 0.0}, -std::polar(1.0, lambda) * s},
+                 {std::polar(1.0, phi) * s, std::polar(1.0, phi + lambda) * c}}},
+               "U"};
+}
+
+}  // namespace gates
+
+}  // namespace pqs::qsim

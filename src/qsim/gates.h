@@ -1,0 +1,55 @@
+// Single-qubit gate matrices and the standard gate set.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "qsim/types.h"
+
+namespace pqs::qsim {
+
+/// A 2x2 unitary acting on one qubit. Row-major: m[row][col].
+struct Gate2 {
+  std::array<std::array<Amplitude, 2>, 2> m;
+  std::string name;
+
+  /// Matrix product: (*this) applied after `first` equals compose(first).
+  Gate2 compose(const Gate2& first) const;
+
+  /// Conjugate transpose.
+  Gate2 adjoint() const;
+
+  /// Frobenius distance to another gate (for tests).
+  double distance(const Gate2& other) const;
+
+  /// || G G^dag - I ||_F ; ~0 for unitary matrices.
+  double unitarity_defect() const;
+};
+
+namespace gates {
+
+/// Identity.
+Gate2 I();
+/// Hadamard.
+Gate2 H();
+/// Pauli gates.
+Gate2 X();
+Gate2 Y();
+Gate2 Z();
+/// Phase gates S = diag(1, i), T = diag(1, e^{i pi/4}) and their adjoints.
+Gate2 S();
+Gate2 Sdg();
+Gate2 T();
+Gate2 Tdg();
+/// diag(1, e^{i phi}).
+Gate2 Phase(double phi);
+/// Rotations about the Bloch axes: R_a(t) = exp(-i t A / 2).
+Gate2 Rx(double theta);
+Gate2 Ry(double theta);
+Gate2 Rz(double theta);
+/// General U(theta, phi, lambda) in the OpenQASM convention.
+Gate2 U(double theta, double phi, double lambda);
+
+}  // namespace gates
+
+}  // namespace pqs::qsim

@@ -1,0 +1,88 @@
+// O(N) state-vector kernels. These are the hot loops; everything else in the
+// simulator is bookkeeping around them. All kernels are OpenMP-parallel when
+// built with PQS_HAVE_OPENMP.
+//
+// The two reflection kernels are the work-horses of the paper:
+//   reflect_about_uniform      = I0        = 2|psi0><psi0| - I
+//   reflect_blocks_about_uniform = I_[K] (x) I0,[N/K]   (Section 2.2)
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "qsim/gates.h"
+#include "qsim/types.h"
+
+namespace pqs::qsim::kernels {
+
+/// Apply a 2x2 unitary to qubit `q` (bit q of the index) of an n-qubit state.
+void apply_gate1(std::span<Amplitude> state, unsigned n_qubits, unsigned q,
+                 const Gate2& g);
+
+/// Apply the gate to qubit `q` only on basis states where every control bit in
+/// `control_mask` is 1. `control_mask` must not contain bit q.
+void apply_controlled_gate1(std::span<Amplitude> state, unsigned n_qubits,
+                            std::uint64_t control_mask, unsigned q,
+                            const Gate2& g);
+
+/// Multiply the amplitude of the single basis state `t` by -1.
+/// This is the selective inversion I_t = I - 2|t><t| of the paper.
+void phase_flip_index(std::span<Amplitude> state, Index t);
+
+/// Multiply by e^{i phi} the amplitude of basis state `t` (generalized
+/// selective phase, used by the sure-success variants).
+void phase_rotate_index(std::span<Amplitude> state, Index t, double phi);
+
+/// Multiply by -1 every amplitude whose index satisfies the predicate.
+/// Used for multi-target oracles and the gate-level |0><0| phase.
+void phase_flip_if(std::span<Amplitude> state,
+                   const std::function<bool(Index)>& predicate);
+
+/// Multiply by -1 every amplitude whose index has all bits of `mask` set
+/// (a multi-controlled Z on the qubits in `mask`).
+void phase_flip_mask_all_ones(std::span<Amplitude> state, std::uint64_t mask);
+
+/// In-place I0 = 2|psi0><psi0| - I where |psi0> is the uniform superposition:
+/// a_x <- 2*mean(a) - a_x. ("Inversion about the average".)
+void reflect_about_uniform(std::span<Amplitude> state);
+
+/// In-place I_[K] (x) I0,[N/K]: inversion about the average within each
+/// contiguous block of `block_size` amplitudes. `block_size` must divide the
+/// state size. With block_size == state.size() this is reflect_about_uniform.
+void reflect_blocks_about_uniform(std::span<Amplitude> state,
+                                  std::size_t block_size);
+
+/// Generalized per-block operator used by the sure-success variants:
+/// within each block, a <- a + (e^{i phi} - 1) * mean(a) * ones, i.e. the
+/// phase-rotation 2|u><u| pattern  I + (e^{i phi} - 1)|u><u| with u the
+/// block-uniform state. phi = pi reproduces reflect_blocks_about_uniform.
+void rotate_blocks_about_uniform(std::span<Amplitude> state,
+                                 std::size_t block_size, double phi);
+
+/// Reflection about an arbitrary axis state: 2|axis><axis| - I.
+/// `axis` must be a unit vector of the same dimension as `state`.
+void reflect_about_state(std::span<Amplitude> state,
+                         std::span<const Amplitude> axis);
+
+/// Inversion about the average of the amplitudes at indices != t, leaving
+/// index t untouched. This is the Step-3 operation of the partial-search
+/// algorithm ("controlled on b = 0, invert about the average").
+void reflect_non_target_about_their_mean(std::span<Amplitude> state, Index t);
+
+/// Multi-marked generalization of the Step-3 reflection: every index in
+/// `marked_sorted` (sorted, unique) keeps its amplitude; the rest are
+/// inverted about their common mean. One oracle query marks the whole set.
+void reflect_unmarked_about_their_mean(std::span<Amplitude> state,
+                                       std::span<const Index> marked_sorted);
+
+/// <a|b>.
+Amplitude inner_product(std::span<const Amplitude> a,
+                        std::span<const Amplitude> b);
+
+/// sum |a_x|^2.
+double norm_squared(std::span<const Amplitude> state);
+
+/// Multiply every amplitude by s.
+void scale(std::span<Amplitude> state, Amplitude s);
+
+}  // namespace pqs::qsim::kernels

@@ -1,0 +1,61 @@
+#include "qsim/measurement.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math.h"
+
+namespace pqs::qsim {
+
+Index measure_all(StateVector& state, Rng& rng) {
+  const Index outcome = state.sample(rng);
+  auto amps = state.amplitudes();
+  for (std::size_t i = 0; i < amps.size(); ++i) {
+    if (static_cast<Index>(i) != outcome) {
+      amps[i] = Amplitude{0.0, 0.0};
+    }
+  }
+  state.normalize();
+  return outcome;
+}
+
+Index measure_block(StateVector& state, unsigned k, Rng& rng) {
+  PQS_CHECK_MSG(k >= 1 && k <= state.num_qubits(), "invalid block bit count");
+  const Index block = state.sample_block(k, rng);
+  auto amps = state.amplitudes();
+  const std::size_t block_size = amps.size() >> k;
+  const std::size_t lo = static_cast<std::size_t>(block) * block_size;
+  for (std::size_t i = 0; i < amps.size(); ++i) {
+    if (i < lo || i >= lo + block_size) {
+      amps[i] = Amplitude{0.0, 0.0};
+    }
+  }
+  state.normalize();
+  return block;
+}
+
+std::map<Index, std::uint64_t> sample_counts(const StateVector& state,
+                                             std::uint64_t shots, Rng& rng) {
+  std::map<Index, std::uint64_t> counts;
+  for (std::uint64_t s = 0; s < shots; ++s) {
+    ++counts[state.sample(rng)];
+  }
+  return counts;
+}
+
+std::vector<double> empirical_block_distribution(const StateVector& state,
+                                                 unsigned k,
+                                                 std::uint64_t shots,
+                                                 Rng& rng) {
+  PQS_CHECK(shots > 0);
+  std::vector<double> dist(pow2(k), 0.0);
+  for (std::uint64_t s = 0; s < shots; ++s) {
+    dist[state.sample_block(k, rng)] += 1.0;
+  }
+  for (auto& p : dist) {
+    p /= static_cast<double>(shots);
+  }
+  return dist;
+}
+
+}  // namespace pqs::qsim

@@ -1,0 +1,54 @@
+#include "qsim/noise.h"
+
+#include "common/check.h"
+
+namespace pqs::qsim {
+
+std::uint64_t apply_noise(StateVector& state, const NoiseModel& model,
+                          Rng& rng) {
+  if (!model.enabled()) {
+    return 0;
+  }
+  PQS_CHECK_MSG(model.probability <= 1.0, "noise probability > 1");
+  std::uint64_t injected = 0;
+  for (unsigned q = 0; q < state.num_qubits(); ++q) {
+    if (!rng.bernoulli(model.probability)) {
+      continue;
+    }
+    ++injected;
+    switch (model.kind) {
+      case NoiseKind::kDepolarizing: {
+        const auto which = rng.uniform_below(3);
+        state.apply_gate1(q, which == 0   ? gates::X()
+                             : which == 1 ? gates::Y()
+                                          : gates::Z());
+        break;
+      }
+      case NoiseKind::kDephasing:
+        state.apply_gate1(q, gates::Z());
+        break;
+      case NoiseKind::kBitFlip:
+        state.apply_gate1(q, gates::X());
+        break;
+      case NoiseKind::kNone:
+        break;
+    }
+  }
+  return injected;
+}
+
+const char* noise_kind_name(NoiseKind kind) {
+  switch (kind) {
+    case NoiseKind::kNone:
+      return "none";
+    case NoiseKind::kDepolarizing:
+      return "depolarizing";
+    case NoiseKind::kDephasing:
+      return "dephasing";
+    case NoiseKind::kBitFlip:
+      return "bit-flip";
+  }
+  return "?";
+}
+
+}  // namespace pqs::qsim

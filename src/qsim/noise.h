@@ -1,0 +1,45 @@
+// Stochastic Pauli noise via quantum trajectories.
+//
+// The paper assumes a perfect oracle; a practical question for any adopter
+// is how fast the three-step algorithm's advantage degrades when each oracle
+// call is followed by noise. We model the standard single-qubit Pauli
+// channels by trajectory sampling: with probability p per qubit, apply a
+// random Pauli (depolarizing) or Z (dephasing) after each noisy operation.
+// Averaging success over trajectories converges to the density-matrix
+// result; tests check the analytically solvable single-qubit cases.
+#pragma once
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "qsim/state_vector.h"
+
+namespace pqs::qsim {
+
+enum class NoiseKind {
+  kNone,
+  kDepolarizing,  ///< X, Y, or Z each with probability p/3 per qubit
+  kDephasing,     ///< Z with probability p per qubit
+  kBitFlip,       ///< X with probability p per qubit
+};
+
+struct NoiseModel {
+  NoiseKind kind = NoiseKind::kNone;
+  /// Per-qubit error probability applied at each noise point.
+  double probability = 0.0;
+
+  bool enabled() const {
+    return kind != NoiseKind::kNone && probability > 0.0;
+  }
+};
+
+/// Sample one trajectory step: for each qubit, with probability p inject
+/// the channel's Pauli. Mutates the state; returns the number of injected
+/// errors (0 on the no-error trajectory).
+std::uint64_t apply_noise(StateVector& state, const NoiseModel& model,
+                          Rng& rng);
+
+/// Human-readable channel name.
+const char* noise_kind_name(NoiseKind kind);
+
+}  // namespace pqs::qsim

@@ -1,0 +1,120 @@
+#include "qsim/simulator.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace pqs::qsim {
+
+std::string ShotReport::to_string(std::size_t max_rows) const {
+  // Sort outcomes by count, descending.
+  std::vector<std::pair<Index, std::uint64_t>> rows(counts.begin(),
+                                                    counts.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second > b.second || (a.second == b.second && a.first < b.first);
+  });
+  std::ostringstream os;
+  os << "shots=" << shots << " queries/shot=" << queries_per_shot << "\n";
+  for (std::size_t i = 0; i < rows.size() && i < max_rows; ++i) {
+    os << "  " << rows[i].first << ": " << rows[i].second << " ("
+       << (100.0 * static_cast<double>(rows[i].second) /
+           static_cast<double>(shots))
+       << "%)\n";
+  }
+  if (rows.size() > max_rows) {
+    os << "  ... " << rows.size() - max_rows << " more outcomes\n";
+  }
+  return os.str();
+}
+
+Simulator::Simulator(std::uint64_t seed) : rng_(seed) {}
+
+void Simulator::reseed(std::uint64_t seed) { rng_ = Rng(seed); }
+
+StateVector Simulator::execute(const Circuit& circuit,
+                               const OracleView& oracle) {
+  auto state = StateVector::uniform(circuit.num_qubits());
+  if (!noise_.enabled()) {
+    circuit.apply(state, oracle);
+    return state;
+  }
+  // Trajectory execution: noise after every query-consuming op.
+  for (const auto& op : circuit.ops()) {
+    Circuit single(circuit.num_qubits());
+    single.add(op);
+    single.apply(state, oracle);
+    if (op_query_cost(op) > 0) {
+      apply_noise(state, noise_, rng_);
+    }
+  }
+  return state;
+}
+
+StateVector Simulator::run_state(const Circuit& circuit,
+                                 const OracleView& oracle) {
+  return execute(circuit, oracle);
+}
+
+ShotReport Simulator::run_shots(const Circuit& circuit,
+                                const OracleView& oracle,
+                                std::uint64_t shots) {
+  PQS_CHECK(shots > 0);
+  ShotReport report;
+  report.shots = shots;
+  report.queries_per_shot = circuit.query_count();
+  if (!noise_.enabled()) {
+    // One execution, many samples.
+    const auto state = execute(circuit, oracle);
+    for (std::uint64_t s = 0; s < shots; ++s) {
+      ++report.counts[state.sample(rng_)];
+    }
+  } else {
+    // Fresh trajectory per shot.
+    for (std::uint64_t s = 0; s < shots; ++s) {
+      const auto state = execute(circuit, oracle);
+      ++report.counts[state.sample(rng_)];
+    }
+  }
+  for (const auto& [outcome, count] : report.counts) {
+    if (count > static_cast<std::uint64_t>(report.mode_frequency *
+                                           static_cast<double>(shots))) {
+      report.mode = outcome;
+      report.mode_frequency =
+          static_cast<double>(count) / static_cast<double>(shots);
+    }
+  }
+  return report;
+}
+
+ShotReport Simulator::run_block_shots(const Circuit& circuit,
+                                      const OracleView& oracle, unsigned k,
+                                      std::uint64_t shots) {
+  PQS_CHECK(shots > 0);
+  PQS_CHECK(k >= 1 && k <= circuit.num_qubits());
+  ShotReport report;
+  report.shots = shots;
+  report.queries_per_shot = circuit.query_count();
+  if (!noise_.enabled()) {
+    const auto state = execute(circuit, oracle);
+    for (std::uint64_t s = 0; s < shots; ++s) {
+      ++report.counts[state.sample_block(k, rng_)];
+    }
+  } else {
+    for (std::uint64_t s = 0; s < shots; ++s) {
+      const auto state = execute(circuit, oracle);
+      ++report.counts[state.sample_block(k, rng_)];
+    }
+  }
+  for (const auto& [outcome, count] : report.counts) {
+    const double freq =
+        static_cast<double>(count) / static_cast<double>(shots);
+    if (freq > report.mode_frequency) {
+      report.mode = outcome;
+      report.mode_frequency = freq;
+    }
+  }
+  return report;
+}
+
+}  // namespace pqs::qsim

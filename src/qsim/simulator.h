@@ -1,0 +1,65 @@
+// Simulator facade: the convenience front-end a downstream user reaches for
+// first. Wraps circuit execution with seeding, repeated-shot sampling,
+// optional noise, and aggregated results; the algorithm modules underneath
+// use the lower-level APIs directly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "qsim/circuit.h"
+#include "qsim/noise.h"
+#include "qsim/state_vector.h"
+
+namespace pqs::qsim {
+
+/// Aggregated result of a multi-shot circuit execution.
+struct ShotReport {
+  std::map<Index, std::uint64_t> counts;  ///< outcome -> occurrences
+  std::uint64_t shots = 0;
+  std::uint64_t queries_per_shot = 0;
+  /// Most frequent outcome and its empirical probability.
+  Index mode = 0;
+  double mode_frequency = 0.0;
+
+  std::string to_string(std::size_t max_rows = 8) const;
+};
+
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed = 2005);
+
+  /// Deterministic reseed (each run* call consumes randomness in order).
+  void reseed(std::uint64_t seed);
+
+  /// Access the underlying generator (e.g. to share it with algorithms).
+  Rng& rng() { return rng_; }
+
+  /// Attach a noise model applied after every oracle call of run_shots /
+  /// run_state (trajectory sampling).
+  void set_noise(const NoiseModel& model) { noise_ = model; }
+  const NoiseModel& noise() const { return noise_; }
+
+  /// One noiseless execution returning the full pre-measurement state.
+  StateVector run_state(const Circuit& circuit, const OracleView& oracle);
+
+  /// Repeated execute-and-measure. With noise attached, each shot is an
+  /// independent trajectory (fresh Pauli samples).
+  ShotReport run_shots(const Circuit& circuit, const OracleView& oracle,
+                       std::uint64_t shots);
+
+  /// Shot sampling of only the first k bits (block measurement).
+  ShotReport run_block_shots(const Circuit& circuit, const OracleView& oracle,
+                             unsigned k, std::uint64_t shots);
+
+ private:
+  StateVector execute(const Circuit& circuit, const OracleView& oracle);
+
+  Rng rng_;
+  NoiseModel noise_;
+};
+
+}  // namespace pqs::qsim

@@ -1,0 +1,188 @@
+#include "qsim/state_vector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/math.h"
+#include "common/stats.h"
+#include "qsim/kernels.h"
+
+namespace pqs::qsim {
+
+StateVector::StateVector(unsigned n_qubits) : n_qubits_(n_qubits) {
+  PQS_CHECK_MSG(n_qubits >= 1 && n_qubits <= kMaxQubits,
+                "qubit count out of supported range");
+  amps_.assign(pow2(n_qubits), Amplitude{0.0, 0.0});
+  amps_[0] = Amplitude{1.0, 0.0};
+}
+
+StateVector StateVector::zero_state(unsigned n_qubits) {
+  return StateVector(n_qubits);
+}
+
+StateVector StateVector::uniform(unsigned n_qubits) {
+  StateVector sv(n_qubits);
+  const double amp = 1.0 / std::sqrt(static_cast<double>(sv.dimension()));
+  std::fill(sv.amps_.begin(), sv.amps_.end(), Amplitude{amp, 0.0});
+  return sv;
+}
+
+StateVector StateVector::basis(unsigned n_qubits, Index x) {
+  StateVector sv(n_qubits);
+  PQS_CHECK_MSG(x < sv.dimension(), "basis index out of range");
+  sv.amps_[0] = Amplitude{0.0, 0.0};
+  sv.amps_[x] = Amplitude{1.0, 0.0};
+  return sv;
+}
+
+StateVector StateVector::from_amplitudes(std::vector<Amplitude> amps) {
+  PQS_CHECK_MSG(is_pow2(amps.size()), "amplitude count must be a power of two");
+  StateVector sv(log2_exact(amps.size()));
+  sv.amps_ = std::move(amps);
+  return sv;
+}
+
+Amplitude StateVector::amplitude(Index x) const {
+  PQS_CHECK_MSG(x < dimension(), "index out of range");
+  return amps_[x];
+}
+
+double StateVector::norm_squared() const {
+  return kernels::norm_squared(amps_);
+}
+
+double StateVector::norm() const { return std::sqrt(norm_squared()); }
+
+void StateVector::normalize() {
+  const double n = norm();
+  PQS_CHECK_MSG(n > 0.0, "cannot normalize the zero vector");
+  kernels::scale(amps_, Amplitude{1.0 / n, 0.0});
+}
+
+double StateVector::linf_distance(const StateVector& other) const {
+  PQS_CHECK_MSG(dimension() == other.dimension(), "dimension mismatch");
+  double d = 0.0;
+  for (std::size_t i = 0; i < amps_.size(); ++i) {
+    d = std::max(d, std::abs(amps_[i] - other.amps_[i]));
+  }
+  return d;
+}
+
+Amplitude StateVector::inner(const StateVector& other) const {
+  return kernels::inner_product(amps_, other.amps_);
+}
+
+double StateVector::fidelity(const StateVector& other) const {
+  return std::norm(inner(other));
+}
+
+double StateVector::probability(Index x) const {
+  PQS_CHECK_MSG(x < dimension(), "index out of range");
+  return std::norm(amps_[x]);
+}
+
+double StateVector::block_probability(unsigned k, Index block) const {
+  PQS_CHECK_MSG(k <= n_qubits_, "k exceeds qubit count");
+  PQS_CHECK_MSG(block < pow2(k), "block index out of range");
+  const std::size_t block_size = dimension() >> k;
+  const std::size_t lo = static_cast<std::size_t>(block) * block_size;
+  double p = 0.0;
+  for (std::size_t i = lo; i < lo + block_size; ++i) {
+    p += std::norm(amps_[i]);
+  }
+  return p;
+}
+
+std::vector<double> StateVector::block_distribution(unsigned k) const {
+  PQS_CHECK_MSG(k <= n_qubits_, "k exceeds qubit count");
+  const std::size_t n_blocks = pow2(k);
+  std::vector<double> dist(n_blocks);
+  for (std::size_t b = 0; b < n_blocks; ++b) {
+    dist[b] = block_probability(k, b);
+  }
+  return dist;
+}
+
+void StateVector::apply_gate1(unsigned q, const Gate2& g) {
+  kernels::apply_gate1(amps_, n_qubits_, q, g);
+}
+
+void StateVector::apply_controlled_gate1(std::uint64_t control_mask,
+                                         unsigned q, const Gate2& g) {
+  kernels::apply_controlled_gate1(amps_, n_qubits_, control_mask, q, g);
+}
+
+void StateVector::apply_hadamard_all() {
+  const Gate2 h = gates::H();
+  for (unsigned q = 0; q < n_qubits_; ++q) {
+    kernels::apply_gate1(amps_, n_qubits_, q, h);
+  }
+}
+
+void StateVector::phase_flip(Index t) { kernels::phase_flip_index(amps_, t); }
+
+void StateVector::phase_rotate(Index t, double phi) {
+  kernels::phase_rotate_index(amps_, t, phi);
+}
+
+void StateVector::reflect_about_uniform() {
+  kernels::reflect_about_uniform(amps_);
+}
+
+void StateVector::reflect_blocks_about_uniform(unsigned k) {
+  PQS_CHECK_MSG(k <= n_qubits_, "k exceeds qubit count");
+  kernels::reflect_blocks_about_uniform(amps_, dimension() >> k);
+}
+
+void StateVector::rotate_blocks_about_uniform(unsigned k, double phi) {
+  PQS_CHECK_MSG(k <= n_qubits_, "k exceeds qubit count");
+  kernels::rotate_blocks_about_uniform(amps_, dimension() >> k, phi);
+}
+
+void StateVector::reflect_non_target_about_their_mean(Index t) {
+  kernels::reflect_non_target_about_their_mean(amps_, t);
+}
+
+Index StateVector::sample(Rng& rng) const {
+  double u = rng.uniform01() * norm_squared();
+  for (std::size_t i = 0; i < amps_.size(); ++i) {
+    u -= std::norm(amps_[i]);
+    if (u <= 0.0) {
+      return static_cast<Index>(i);
+    }
+  }
+  return static_cast<Index>(amps_.size() - 1);
+}
+
+Index StateVector::sample_block(unsigned k, Rng& rng) const {
+  return sample(rng) >> (n_qubits_ - k);
+}
+
+std::string StateVector::render_real_amplitudes(unsigned k_blocks,
+                                                std::size_t half_width) const {
+  PQS_CHECK_MSG(dimension() <= 64,
+                "render_real_amplitudes is meant for small states");
+  double max_abs = 1e-12;
+  for (const auto& a : amps_) {
+    max_abs = std::max(max_abs, std::abs(a.real()));
+  }
+  const std::size_t block_size =
+      k_blocks == 0 ? dimension() : (dimension() >> k_blocks);
+  std::ostringstream os;
+  for (std::size_t i = 0; i < amps_.size(); ++i) {
+    if (k_blocks != 0 && i % block_size == 0) {
+      os << "-- block " << i / block_size << " --\n";
+    }
+    os.setf(std::ios::fixed);
+    os.precision(4);
+    os.width(3);
+    os << i << "  " << signed_bar(amps_[i].real(), max_abs, half_width) << "  ";
+    os.width(8);
+    os << amps_[i].real() << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace pqs::qsim

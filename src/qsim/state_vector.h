@@ -1,0 +1,93 @@
+// Dense n-qubit state vector.
+//
+// The StateVector owns the amplitude array and exposes the operations the
+// algorithms need; the O(N) loops live in qsim/kernels.*. Block structure
+// follows the paper: for K = 2^k blocks, the block index of address x is its
+// first k bits, i.e. `x >> (n - k)`.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "qsim/gates.h"
+#include "qsim/types.h"
+
+namespace pqs::qsim {
+
+class StateVector {
+ public:
+  /// |0...0> on n qubits.
+  explicit StateVector(unsigned n_qubits);
+
+  /// Named constructors.
+  static StateVector zero_state(unsigned n_qubits);
+  /// |psi0> = (1/sqrt(N)) sum_x |x> — the Grover starting state.
+  static StateVector uniform(unsigned n_qubits);
+  /// Basis state |x>.
+  static StateVector basis(unsigned n_qubits, Index x);
+  /// From explicit amplitudes (size must be a power of two). Not normalized.
+  static StateVector from_amplitudes(std::vector<Amplitude> amps);
+
+  unsigned num_qubits() const { return n_qubits_; }
+  std::size_t dimension() const { return amps_.size(); }
+
+  std::span<Amplitude> amplitudes() { return amps_; }
+  std::span<const Amplitude> amplitudes() const { return amps_; }
+  Amplitude amplitude(Index x) const;
+
+  /// sum |a_x|^2 and friends.
+  double norm_squared() const;
+  double norm() const;
+  /// Rescale to unit norm. Checked: the norm must be positive.
+  void normalize();
+  /// Max |a_x - b_x| over all basis states.
+  double linf_distance(const StateVector& other) const;
+  /// <this|other>.
+  Amplitude inner(const StateVector& other) const;
+  /// |<this|other>|^2.
+  double fidelity(const StateVector& other) const;
+
+  /// Probability of observing basis state x.
+  double probability(Index x) const;
+  /// Probability that a measurement of the first k (most significant) bits
+  /// yields `block`, i.e. the mass of amplitudes with x >> (n-k) == block.
+  double block_probability(unsigned k, Index block) const;
+  /// All K = 2^k block probabilities.
+  std::vector<double> block_distribution(unsigned k) const;
+
+  // -- Gate application (delegates to kernels) --
+  void apply_gate1(unsigned q, const Gate2& g);
+  void apply_controlled_gate1(std::uint64_t control_mask, unsigned q,
+                              const Gate2& g);
+  /// Apply H to every qubit (the Walsh-Hadamard transform W = H^{(x)n}).
+  void apply_hadamard_all();
+  void phase_flip(Index t);
+  void phase_rotate(Index t, double phi);
+  /// I0 = 2|psi0><psi0| - I.
+  void reflect_about_uniform();
+  /// I_[K] (x) I0,[N/K] with K = 2^k blocks keyed by the first k bits.
+  void reflect_blocks_about_uniform(unsigned k);
+  /// Generalized block rotation (phi = pi reproduces the reflection).
+  void rotate_blocks_about_uniform(unsigned k, double phi);
+  /// Step-3 operation: inversion about the average of all non-target states.
+  void reflect_non_target_about_their_mean(Index t);
+
+  // -- Measurement --
+  /// Sample a full basis state according to |a_x|^2 (state not collapsed).
+  Index sample(Rng& rng) const;
+  /// Sample only the first k bits (the block index).
+  Index sample_block(unsigned k, Rng& rng) const;
+
+  /// Render amplitudes as a signed bar chart (real parts), for the
+  /// Figure-1 / Figure-5 style pictures. Only sensible for small N.
+  std::string render_real_amplitudes(unsigned k_blocks = 0,
+                                     std::size_t half_width = 24) const;
+
+ private:
+  unsigned n_qubits_;
+  std::vector<Amplitude> amps_;
+};
+
+}  // namespace pqs::qsim

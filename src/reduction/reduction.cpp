@@ -1,0 +1,85 @@
+#include "reduction/reduction.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math.h"
+#include "partial/certainty.h"
+
+namespace pqs::reduction {
+
+ReductionResult search_full_via_partial(const oracle::Database& db, unsigned k,
+                                        Rng& rng,
+                                        const ReductionOptions& options) {
+  PQS_CHECK_MSG(is_pow2(db.size()), "reduction runs on N = 2^n databases");
+  PQS_CHECK_MSG(k >= 1, "need at least one bit per level");
+  const unsigned n = log2_exact(db.size());
+
+  ReductionResult result;
+  qsim::Index prefix = 0;     // bits of the target determined so far
+  unsigned bits_known = 0;    // how many
+  std::uint64_t level_id = 0;
+
+  while (bits_known < n) {
+    const unsigned remaining = n - bits_known;
+    const std::uint64_t sub_size = pow2(remaining);
+
+    // The restricted database: addresses sharing the known prefix, re-keyed
+    // by their low `remaining` bits. One child query = one parent query.
+    const qsim::Index sub_target =
+        db.target() & (sub_size - 1);  // low bits of the true target
+
+    LevelReport report;
+    report.level = level_id++;
+    report.db_size = sub_size;
+
+    if (sub_size <= options.brute_force_below || remaining <= k) {
+      // Brute-force tail: classical scan of the restricted database.
+      const oracle::Database sub(sub_size, sub_target);
+      qsim::Index found = sub_size - 1;
+      for (qsim::Index x = 0; x + 1 < sub_size; ++x) {
+        if (sub.probe(x)) {
+          found = x;
+          break;
+        }
+      }
+      report.bits_fixed = remaining;
+      report.queries = sub.queries();
+      report.via_partial_search = false;
+      result.levels.push_back(report);
+      db.add_queries(report.queries);
+      prefix = (prefix << remaining) | found;
+      bits_known = n;
+      break;
+    }
+
+    // Sure-success partial search for the next k bits.
+    const oracle::Database sub(sub_size, sub_target);
+    const auto run = partial::run_partial_search_certain(sub, k, rng);
+    PQS_CHECK_MSG(run.correct, "sure-success partial search failed");
+    report.bits_fixed = k;
+    report.queries = sub.queries();
+    result.levels.push_back(report);
+    db.add_queries(report.queries);
+    prefix = (prefix << k) | run.measured_block;
+    bits_known += k;
+  }
+
+  result.found = prefix;
+  result.correct = prefix == db.target();
+  for (const auto& level : result.levels) {
+    result.total_queries += level.queries;
+  }
+  return result;
+}
+
+double theorem2_query_bound(double partial_coefficient, std::uint64_t n_items,
+                            std::uint64_t k_blocks) {
+  PQS_CHECK(k_blocks >= 2);
+  const double sqrt_k = std::sqrt(static_cast<double>(k_blocks));
+  // alpha sqrt(N) (1 + 1/sqrt(K) + 1/K + ...) = alpha sqrt(N) sqrt(K)/(sqrt(K)-1).
+  return partial_coefficient * std::sqrt(static_cast<double>(n_items)) *
+         sqrt_k / (sqrt_k - 1.0);
+}
+
+}  // namespace pqs::reduction

@@ -1,0 +1,140 @@
+#include "zalka/zalka.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math.h"
+
+namespace pqs::zalka {
+
+double state_angle(const qsim::StateVector& a, const qsim::StateVector& b) {
+  return clamped_acos(std::abs(a.inner(b)));
+}
+
+namespace {
+
+/// Run the circuit from |psi0> with the first `identity_until` queries
+/// replaced by the identity; optionally record the state just before each
+/// query (identity or not).
+qsim::StateVector run_with_snapshots(
+    const qsim::Circuit& circuit, const qsim::OracleView& oracle,
+    std::uint64_t identity_until,
+    std::vector<qsim::StateVector>* before_each_query) {
+  auto state = qsim::StateVector::uniform(circuit.num_qubits());
+  std::uint64_t queries_seen = 0;
+  for (const auto& op : circuit.ops()) {
+    const std::uint64_t cost = qsim::op_query_cost(op);
+    if (cost > 0 && before_each_query != nullptr) {
+      before_each_query->push_back(state);
+    }
+    // Apply one op: reuse the circuit executor by slicing is wasteful, so
+    // replicate its dispatch through a single-op circuit application.
+    qsim::Circuit single(circuit.num_qubits());
+    single.add(op);
+    if (cost > 0 && queries_seen < identity_until) {
+      single.apply_hybrid(state, oracle, /*identity_until_query=*/cost);
+    } else {
+      single.apply(state, oracle);
+    }
+    queries_seen += cost;
+  }
+  return state;
+}
+
+}  // namespace
+
+ZalkaReport analyze_circuit(const qsim::Circuit& circuit,
+                            const ZalkaOptions& options) {
+  ZalkaReport report;
+  report.n_qubits = circuit.num_qubits();
+  report.n_items = pow2(report.n_qubits);
+  report.queries = circuit.query_count();
+  PQS_CHECK_MSG(report.queries >= 1, "circuit makes no queries");
+
+  const auto n = report.n_items;
+  const auto nd = static_cast<double>(n);
+  const std::uint64_t t_queries = report.queries;
+
+  // All-identity run with snapshots before every query: |phi_i>.
+  const qsim::OracleView dummy{[](qsim::Index) { return false; }, 0};
+  std::vector<qsim::StateVector> phi_before;
+  phi_before.reserve(t_queries);
+  const qsim::StateVector phi_final = run_with_snapshots(
+      circuit, dummy, /*identity_until=*/t_queries, &phi_before);
+  PQS_CHECK(phi_before.size() == t_queries);
+
+  // Lemma 3 quantities: S_i = sum_y arcsin sqrt(p_{i,y}).
+  report.per_query_sums.resize(t_queries, 0.0);
+  for (std::uint64_t i = 0; i < t_queries; ++i) {
+    double sum = 0.0;
+    for (qsim::Index y = 0; y < n; ++y) {
+      sum += clamped_asin(std::sqrt(phi_before[i].probability(y)));
+    }
+    report.per_query_sums[i] = sum;
+    report.max_per_query_sum = std::max(report.max_per_query_sum, sum);
+  }
+  report.lemma3_ceiling = std::sqrt(nd) * (1.0 + 1.0 / nd);
+
+  // Per-oracle runs: |phi^y_T>, final angles, success probabilities.
+  report.min_success = 1.0;
+  for (qsim::Index y = 0; y < n; ++y) {
+    const oracle::Database db(n, y);
+    const auto view = db.view();
+    const qsim::StateVector phi_y =
+        run_with_snapshots(circuit, view, /*identity_until=*/0, nullptr);
+    report.sum_final_angles += state_angle(phi_final, phi_y);
+    report.min_success = std::min(report.min_success, phi_y.probability(y));
+  }
+  report.eps = 1.0 - report.min_success;
+  report.lemma1_floor =
+      nd * kHalfPi *
+      (1.0 - std::sqrt(std::max(report.eps, 0.0)) - std::pow(nd, -0.25));
+  report.implied_query_floor =
+      report.sum_final_angles / (2.0 * report.lemma3_ceiling);
+
+  // Lemma 2: hybrid angle steps, on a sample of y values.
+  const std::uint64_t sample = options.lemma2_sample == 0
+                                   ? n
+                                   : std::min<std::uint64_t>(
+                                         options.lemma2_sample, n);
+  const std::uint64_t stride = n / sample;
+  for (std::uint64_t s = 0; s < sample; ++s) {
+    const qsim::Index y = s * stride;
+    const oracle::Database db(n, y);
+    const auto view = db.view();
+    qsim::StateVector prev =
+        run_with_snapshots(circuit, view, /*identity_until=*/t_queries,
+                           nullptr);  // i = 0: all identity
+    for (std::uint64_t i = 1; i <= t_queries; ++i) {
+      const qsim::StateVector cur = run_with_snapshots(
+          circuit, view, /*identity_until=*/t_queries - i, nullptr);
+      const double lhs = state_angle(prev, cur);
+      const double rhs =
+          2.0 * clamped_asin(
+                    std::sqrt(phi_before[t_queries - i].probability(y)));
+      const double slack = lhs - rhs;
+      report.lemma2_worst_slack =
+          std::max(report.lemma2_worst_slack, slack);
+      if (slack > 1e-9) {
+        report.lemma2_holds = false;
+      }
+      prev = cur;
+    }
+  }
+  return report;
+}
+
+ZalkaReport analyze_grover(unsigned n_qubits, std::uint64_t iterations,
+                           const ZalkaOptions& options) {
+  return analyze_circuit(qsim::make_grover_circuit(n_qubits, iterations),
+                         options);
+}
+
+double theorem3_floor(std::uint64_t n_items, double eps) {
+  const auto nd = static_cast<double>(n_items);
+  return kQuarterPi * std::sqrt(nd) *
+         (1.0 - (std::sqrt(std::max(eps, 0.0)) + std::pow(nd, -0.25)));
+}
+
+}  // namespace pqs::zalka

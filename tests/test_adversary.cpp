@@ -1,0 +1,88 @@
+#include "classical/adversary.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/check.h"
+
+namespace pqs::classical {
+namespace {
+
+TEST(AdversaryOrderCost, BlockLastOrderMatchesClosedForm) {
+  // Probing blocks 0..K-2 in address order, leaving block K-1 unprobed,
+  // costs exactly the Appendix-A bound in expectation.
+  const oracle::BlockLayout layout(8, 4);
+  std::vector<oracle::Index> order(8);
+  std::iota(order.begin(), order.end(), oracle::Index{0});
+  EXPECT_NEAR(expected_probes_for_order(order, layout),
+              appendix_a_bound(8, 4), 1e-12);
+}
+
+TEST(AdversaryOrderCost, InterleavedOrderIsWorse) {
+  // An order that alternates blocks never gets an early elimination stop.
+  const oracle::BlockLayout layout(8, 4);
+  const std::vector<oracle::Index> interleaved{0, 2, 4, 6, 1, 3, 5, 7};
+  EXPECT_GT(expected_probes_for_order(interleaved, layout),
+            appendix_a_bound(8, 4));
+}
+
+TEST(AdversaryOrderCost, FullBlockSuffixStopsEarly) {
+  // Suffix = one whole block: s = N - N/K, so the max cost is N - N/K.
+  const oracle::BlockLayout layout(6, 3);
+  const std::vector<oracle::Index> order{2, 3, 0, 1, 4, 5};  // block 2 last
+  // Costs: positions 0..3 -> 1,2,3,4 (s = 4); targets 4,5 -> cost 4.
+  EXPECT_NEAR(expected_probes_for_order(order, layout),
+              (1.0 + 2.0 + 3.0 + 4.0 + 4.0 + 4.0) / 6.0, 1e-12);
+}
+
+TEST(AdversaryOrderCost, RejectsIncompleteOrders) {
+  const oracle::BlockLayout layout(6, 3);
+  EXPECT_THROW(
+      expected_probes_for_order(std::vector<oracle::Index>{0, 1}, layout),
+      CheckFailure);
+}
+
+class ExhaustiveBound
+    : public ::testing::TestWithParam<std::pair<std::uint64_t, std::uint64_t>> {
+};
+
+TEST_P(ExhaustiveBound, MinimumOverAllOrdersEqualsAppendixA) {
+  const auto [n, k] = GetParam();
+  const auto result = exhaustive_partial_search_bound(n, k);
+  EXPECT_NEAR(result.min_expected, appendix_a_bound(n, k), 1e-9)
+      << "N=" << n << " K=" << k;
+  EXPECT_GT(result.max_expected, result.min_expected);
+  // The optimal orders are exactly those ending with one full block:
+  // K * (N/K)! * (N - N/K)!.
+  double expected_count = static_cast<double>(k);
+  for (std::uint64_t i = 2; i <= n / k; ++i) {
+    expected_count *= static_cast<double>(i);
+  }
+  for (std::uint64_t i = 2; i <= n - n / k; ++i) {
+    expected_count *= static_cast<double>(i);
+  }
+  EXPECT_DOUBLE_EQ(static_cast<double>(result.optimal_orders),
+                   expected_count)
+      << "N=" << n << " K=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallInstances, ExhaustiveBound,
+                         ::testing::Values(std::pair{4u, 2u},
+                                           std::pair{6u, 2u},
+                                           std::pair{6u, 3u},
+                                           std::pair{8u, 2u},
+                                           std::pair{8u, 4u},
+                                           std::pair{9u, 3u}));
+
+TEST(ExhaustiveBound, ChecksAllFactorialOrders) {
+  const auto result = exhaustive_partial_search_bound(6, 3);
+  EXPECT_EQ(result.orders_checked, 720u);
+}
+
+TEST(ExhaustiveBound, RejectsLargeN) {
+  EXPECT_THROW(exhaustive_partial_search_bound(12, 3), CheckFailure);
+}
+
+}  // namespace
+}  // namespace pqs::classical

@@ -1,0 +1,108 @@
+#include "grover/bbht.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/stats.h"
+
+namespace pqs::grover {
+namespace {
+
+TEST(Bbht, FindsUniqueMarkedItem) {
+  Rng rng(7);
+  const oracle::MarkedDatabase db(256, {173});
+  int found = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    db.reset_queries();
+    const auto result = search_unknown(db, rng);
+    if (result.found.has_value()) {
+      ASSERT_EQ(*result.found, 173u);
+      ++found;
+    }
+  }
+  EXPECT_GE(found, 19);  // failure within the 9 sqrt(N) budget is rare
+}
+
+TEST(Bbht, FindsOneOfManyMarkedItems) {
+  Rng rng(11);
+  const oracle::MarkedDatabase db(1024, {3, 77, 500, 900});
+  const auto result = search_unknown(db, rng);
+  ASSERT_TRUE(result.found.has_value());
+  EXPECT_TRUE(db.peek(*result.found));
+}
+
+TEST(Bbht, ExpectedQueriesWithinTheoremBound) {
+  Rng rng(13);
+  const std::uint64_t n_items = 1024;
+  for (const std::uint64_t m : {1u, 4u, 16u}) {
+    std::vector<qsim::Index> marked;
+    for (std::uint64_t i = 0; i < m; ++i) {
+      marked.push_back(i * (n_items / m) + 5);
+    }
+    const oracle::MarkedDatabase db(n_items, marked);
+    RunningStats stats;
+    for (int trial = 0; trial < 60; ++trial) {
+      db.reset_queries();
+      const auto result = search_unknown(db, rng);
+      ASSERT_TRUE(result.found.has_value());
+      stats.add(static_cast<double>(result.queries));
+    }
+    EXPECT_LT(stats.mean(), bbht_expected_queries_bound(n_items, m))
+        << "m=" << m;
+  }
+}
+
+TEST(Bbht, MoreMarkedItemsMeansFewerQueries) {
+  Rng rng(17);
+  const auto mean_queries = [&rng](std::uint64_t marked_count) {
+    std::vector<qsim::Index> marked;
+    for (std::uint64_t i = 0; i < marked_count; ++i) {
+      marked.push_back(i * 7 + 1);
+    }
+    const oracle::MarkedDatabase db(4096, marked);
+    RunningStats stats;
+    for (int trial = 0; trial < 40; ++trial) {
+      db.reset_queries();
+      const auto result = search_unknown(db, rng);
+      EXPECT_TRUE(result.found.has_value());
+      stats.add(static_cast<double>(result.queries));
+    }
+    return stats.mean();
+  };
+  EXPECT_LT(mean_queries(64), mean_queries(1));
+}
+
+TEST(Bbht, EmptyMarkedSetTerminatesWithinBudget) {
+  Rng rng(19);
+  const oracle::MarkedDatabase db(256, {});
+  const auto result = search_unknown(db, rng);
+  EXPECT_FALSE(result.found.has_value());
+  EXPECT_LE(result.queries, static_cast<std::uint64_t>(9.0 * 16.0) + 32);
+}
+
+TEST(Bbht, CustomQueryBudgetRespected) {
+  Rng rng(23);
+  const oracle::MarkedDatabase db(256, {});
+  BbhtOptions options;
+  options.max_queries = 20;
+  const auto result = search_unknown(db, rng, options);
+  EXPECT_FALSE(result.found.has_value());
+  EXPECT_LE(result.queries, 40u);  // budget + the last round's overshoot
+}
+
+TEST(Bbht, RejectsBadLambda) {
+  Rng rng(29);
+  const oracle::MarkedDatabase db(16, {1});
+  BbhtOptions options;
+  options.lambda = 2.0;
+  EXPECT_THROW(search_unknown(db, rng, options), CheckFailure);
+}
+
+TEST(Bbht, RejectsNonPowerOfTwo) {
+  Rng rng(31);
+  const oracle::MarkedDatabase db(12, {1});
+  EXPECT_THROW(search_unknown(db, rng), CheckFailure);
+}
+
+}  // namespace
+}  // namespace pqs::grover

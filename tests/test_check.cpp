@@ -1,0 +1,51 @@
+#include "common/check.h"
+
+#include <gtest/gtest.h>
+
+namespace pqs {
+namespace {
+
+TEST(Check, PassingCheckDoesNothing) {
+  EXPECT_NO_THROW(PQS_CHECK(1 + 1 == 2));
+  EXPECT_NO_THROW(PQS_CHECK_MSG(true, "never shown"));
+}
+
+TEST(Check, FailingCheckThrowsCheckFailure) {
+  EXPECT_THROW(PQS_CHECK(1 == 2), CheckFailure);
+}
+
+TEST(Check, FailureMessageContainsExpressionAndLocation) {
+  try {
+    PQS_CHECK_MSG(2 > 3, "custom context");
+    FAIL() << "expected CheckFailure";
+  } catch (const CheckFailure& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 > 3"), std::string::npos);
+    EXPECT_NE(what.find("test_check.cpp"), std::string::npos);
+    EXPECT_NE(what.find("custom context"), std::string::npos);
+  }
+}
+
+TEST(Check, CheckFiresInReleaseBuilds) {
+  // PQS_CHECK must be active regardless of NDEBUG.
+  bool fired = false;
+  try {
+    PQS_CHECK(false);
+  } catch (const CheckFailure&) {
+    fired = true;
+  }
+  EXPECT_TRUE(fired);
+}
+
+TEST(Check, SideEffectsEvaluatedExactlyOnce) {
+  int calls = 0;
+  const auto count = [&calls] {
+    ++calls;
+    return true;
+  };
+  PQS_CHECK(count());
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace pqs

@@ -1,0 +1,195 @@
+#include "qsim/circuit.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/math.h"
+#include "oracle/database.h"
+
+namespace pqs::qsim {
+namespace {
+
+TEST(Circuit, QueryCountCountsOracleOpsOnly) {
+  Circuit c(4);
+  c.hadamard_all().oracle().global_diffusion().oracle_phase(0.5).gate1(
+      0, gates::X());
+  c.non_target_mean_reflection();
+  EXPECT_EQ(c.query_count(), 3u);
+}
+
+TEST(Circuit, GroverIterationIsOneQuery) {
+  Circuit c(4);
+  c.grover_iteration();
+  EXPECT_EQ(c.query_count(), 1u);
+  EXPECT_EQ(c.size(), 2u);  // oracle + diffusion
+}
+
+TEST(Circuit, ApplyMatchesManualEvolution) {
+  const oracle::Database db = oracle::Database::with_qubits(5, 11);
+  Circuit c(5);
+  for (int i = 0; i < 4; ++i) {
+    c.grover_iteration();
+  }
+  auto circuit_state = StateVector::uniform(5);
+  const auto queries = c.apply(circuit_state, db.view());
+  EXPECT_EQ(queries, 4u);
+
+  auto manual = StateVector::uniform(5);
+  for (int i = 0; i < 4; ++i) {
+    manual.phase_flip(11);
+    manual.reflect_about_uniform();
+  }
+  EXPECT_LT(circuit_state.linf_distance(manual), 1e-12);
+}
+
+TEST(Circuit, MakeGroverCircuitMatchesBuilder) {
+  const auto a = make_grover_circuit(4, 3);
+  Circuit b(4);
+  for (int i = 0; i < 3; ++i) {
+    b.grover_iteration();
+  }
+  EXPECT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.query_count(), b.query_count());
+}
+
+TEST(Circuit, PartialIterationUsesBlockDiffusion) {
+  const oracle::Database db = oracle::Database::with_qubits(6, 33);
+  Circuit c(6);
+  c.partial_iteration(2);
+  auto state = StateVector::uniform(6);
+  c.apply(state, db.view());
+
+  auto manual = StateVector::uniform(6);
+  manual.phase_flip(33);
+  manual.reflect_blocks_about_uniform(2);
+  EXPECT_LT(state.linf_distance(manual), 1e-12);
+}
+
+TEST(Circuit, GateLevelDiffusionEqualsFusedKernel) {
+  const oracle::Database db = oracle::Database::with_qubits(5, 7);
+  // Prepare an arbitrary state by a few gates, then compare both diffusion
+  // realizations.
+  Circuit prep(5);
+  prep.hadamard_all().gate1(1, gates::T()).gate1(3, gates::Ry(0.6));
+
+  auto a = StateVector::zero_state(5);
+  prep.apply(a, db.view());
+  auto b = a;
+
+  Circuit fused(5);
+  fused.global_diffusion();
+  fused.apply(a, db.view());
+
+  Circuit gates_only(5);
+  gates_only.global_diffusion_gate_level();
+  gates_only.apply(b, db.view());
+
+  EXPECT_LT(a.linf_distance(b), 1e-12);
+  EXPECT_EQ(gates_only.query_count(), 0u);
+}
+
+TEST(Circuit, HybridIdentityUntilSkipsEarlyQueries) {
+  const oracle::Database db = oracle::Database::with_qubits(4, 9);
+  Circuit c(4);
+  for (int i = 0; i < 5; ++i) {
+    c.grover_iteration();
+  }
+  // All five queries replaced by identity: the diffusion fixes |psi0>, so
+  // the state must remain uniform.
+  auto state = StateVector::uniform(4);
+  const auto real_queries = c.apply_hybrid(state, db.view(), 5);
+  EXPECT_EQ(real_queries, 0u);
+  EXPECT_LT(state.linf_distance(StateVector::uniform(4)), 1e-12);
+}
+
+TEST(Circuit, HybridSuffixMatchesShorterRealRun) {
+  // First 2 of 5 queries identity == running only the last 3 iterations
+  // (diffusion on uniform is the identity).
+  const oracle::Database db = oracle::Database::with_qubits(4, 9);
+  Circuit five(4);
+  for (int i = 0; i < 5; ++i) {
+    five.grover_iteration();
+  }
+  auto hybrid = StateVector::uniform(4);
+  const auto real_queries = five.apply_hybrid(hybrid, db.view(), 2);
+  EXPECT_EQ(real_queries, 3u);
+
+  Circuit three(4);
+  for (int i = 0; i < 3; ++i) {
+    three.grover_iteration();
+  }
+  auto direct = StateVector::uniform(4);
+  three.apply(direct, db.view());
+  EXPECT_LT(hybrid.linf_distance(direct), 1e-12);
+}
+
+TEST(Circuit, ApplyRangeSplitsExecution) {
+  const oracle::Database db = oracle::Database::with_qubits(4, 3);
+  Circuit c(4);
+  for (int i = 0; i < 4; ++i) {
+    c.grover_iteration();
+  }
+  auto split = StateVector::uniform(4);
+  c.apply_range(split, db.view(), 0, 4);             // first 2 iterations
+  c.apply_range(split, db.view(), 4, c.size());      // the rest
+  auto whole = StateVector::uniform(4);
+  c.apply(whole, db.view());
+  EXPECT_LT(split.linf_distance(whole), 1e-12);
+}
+
+TEST(Circuit, ApplyRangeRejectsBadBounds) {
+  const oracle::Database db = oracle::Database::with_qubits(3, 0);
+  Circuit c(3);
+  c.grover_iteration();
+  auto state = StateVector::uniform(3);
+  EXPECT_THROW(c.apply_range(state, db.view(), 3, 2), CheckFailure);
+  EXPECT_THROW(c.apply_range(state, db.view(), 0, 99), CheckFailure);
+}
+
+TEST(Circuit, QubitCountMismatchRejected) {
+  const oracle::Database db = oracle::Database::with_qubits(3, 0);
+  Circuit c(3);
+  c.grover_iteration();
+  auto wrong = StateVector::uniform(4);
+  EXPECT_THROW(c.apply(wrong, db.view()), CheckFailure);
+}
+
+TEST(Circuit, NonTargetMeanOpUsesOracleTarget) {
+  const oracle::Database db = oracle::Database::with_qubits(3, 5);
+  Circuit c(3);
+  c.non_target_mean_reflection();
+  auto state = StateVector::uniform(3);
+  state.phase_flip(5);
+  auto manual = state;
+  c.apply(state, db.view());
+  manual.reflect_non_target_about_their_mean(5);
+  EXPECT_LT(state.linf_distance(manual), 1e-12);
+}
+
+TEST(Circuit, ToStringListsOps) {
+  Circuit c(4);
+  c.grover_iteration().partial_iteration(2);
+  const std::string s = c.to_string();
+  EXPECT_NE(s.find("Oracle(It)"), std::string::npos);
+  EXPECT_NE(s.find("I0"), std::string::npos);
+  EXPECT_NE(s.find("blocks k=2"), std::string::npos);
+  EXPECT_NE(s.find("queries=2"), std::string::npos);
+}
+
+TEST(Circuit, OpNameCoversAllVariants) {
+  EXPECT_EQ(op_name(OracleOp{}), "Oracle(It)");
+  EXPECT_EQ(op_name(GlobalDiffusionOp{}), "I0");
+  EXPECT_EQ(op_name(NonTargetMeanOp{}), "NonTargetMeanReflect");
+  EXPECT_NE(op_name(Gate1Op{0, gates::H()}).find("H"), std::string::npos);
+  EXPECT_NE(op_name(MczOp{7}).find("MCZ"), std::string::npos);
+}
+
+TEST(Circuit, BlockDiffusionValidatesK) {
+  Circuit c(4);
+  EXPECT_THROW(c.block_diffusion(0), CheckFailure);
+  EXPECT_THROW(c.block_diffusion(4), CheckFailure);
+  EXPECT_NO_THROW(c.block_diffusion(3));
+}
+
+}  // namespace
+}  // namespace pqs::qsim

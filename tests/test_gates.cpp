@@ -1,0 +1,119 @@
+#include "qsim/gates.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/math.h"
+
+namespace pqs::qsim {
+namespace {
+
+using gates::H;
+using gates::I;
+using gates::Phase;
+using gates::Rx;
+using gates::Ry;
+using gates::Rz;
+using gates::S;
+using gates::Sdg;
+using gates::T;
+using gates::Tdg;
+using gates::U;
+using gates::X;
+using gates::Y;
+using gates::Z;
+
+class NamedGateTest : public ::testing::TestWithParam<Gate2> {};
+
+TEST_P(NamedGateTest, IsUnitary) {
+  EXPECT_LT(GetParam().unitarity_defect(), 1e-12) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StandardGates, NamedGateTest,
+    ::testing::Values(I(), H(), X(), Y(), Z(), S(), Sdg(), T(), Tdg(),
+                      Phase(0.7), Rx(1.1), Ry(-2.3), Rz(0.4),
+                      U(0.3, 1.2, -0.8)),
+    [](const ::testing::TestParamInfo<Gate2>& info) {
+      std::string name = info.param.name;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) {
+          c = '_';
+        }
+      }
+      return name + "_" + std::to_string(info.index);
+    });
+
+TEST(Gates, HadamardIsSelfInverse) {
+  EXPECT_LT(H().compose(H()).distance(I()), 1e-12);
+}
+
+TEST(Gates, PauliAlgebra) {
+  // X Y = i Z.
+  const Gate2 xy = X().compose(Y());
+  Gate2 iz = Z();
+  for (auto& row : iz.m) {
+    for (auto& e : row) {
+      e *= Amplitude{0.0, 1.0};
+    }
+  }
+  EXPECT_LT(xy.distance(iz), 1e-12);
+}
+
+TEST(Gates, SSquaredIsZ) {
+  EXPECT_LT(S().compose(S()).distance(Z()), 1e-12);
+}
+
+TEST(Gates, TSquaredIsS) {
+  EXPECT_LT(T().compose(T()).distance(S()), 1e-12);
+}
+
+TEST(Gates, SdgIsAdjointOfS) {
+  EXPECT_LT(Sdg().distance(S().adjoint()), 1e-12);
+}
+
+TEST(Gates, HZHEqualsX) {
+  EXPECT_LT(H().compose(Z()).compose(H()).distance(X()), 1e-12);
+}
+
+TEST(Gates, PhasePiIsZ) {
+  EXPECT_LT(Phase(kPi).distance(Z()), 1e-12);
+}
+
+TEST(Gates, RotationComposition) {
+  // Ry(a) Ry(b) = Ry(a+b).
+  EXPECT_LT(Ry(0.5).compose(Ry(0.7)).distance(Ry(1.2)), 1e-12);
+  EXPECT_LT(Rz(0.5).compose(Rz(0.7)).distance(Rz(1.2)), 1e-12);
+}
+
+TEST(Gates, RyFullTurnIsMinusIdentity) {
+  Gate2 minus_i = I();
+  for (auto& row : minus_i.m) {
+    for (auto& e : row) {
+      e = -e;
+    }
+  }
+  EXPECT_LT(Ry(2.0 * kPi).distance(minus_i), 1e-12);
+}
+
+TEST(Gates, UGeneralizesNamedGates) {
+  // U(pi, 0, pi) = X up to convention; U(0, 0, lambda) = Phase(lambda).
+  EXPECT_LT(U(kPi, 0.0, kPi).distance(X()), 1e-12);
+  EXPECT_LT(U(0.0, 0.0, 0.9).distance(Phase(0.9)), 1e-12);
+}
+
+TEST(Gates, AdjointReversesComposition) {
+  const Gate2 a = Rx(0.3), b = Ry(0.9);
+  const Gate2 lhs = a.compose(b).adjoint();
+  const Gate2 rhs = b.adjoint().compose(a.adjoint());
+  EXPECT_LT(lhs.distance(rhs), 1e-12);
+}
+
+TEST(Gates, DistanceIsZeroOnlyForEqualGates) {
+  EXPECT_DOUBLE_EQ(H().distance(H()), 0.0);
+  EXPECT_GT(H().distance(X()), 0.1);
+}
+
+}  // namespace
+}  // namespace pqs::qsim

@@ -1,0 +1,307 @@
+#include "qsim/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "common/math.h"
+#include "common/random.h"
+
+namespace pqs::qsim {
+namespace {
+
+std::vector<Amplitude> random_state(unsigned n_qubits, Rng& rng) {
+  std::vector<Amplitude> amps(pow2(n_qubits));
+  for (auto& a : amps) {
+    a = Amplitude{rng.normal(), rng.normal()};
+  }
+  const double norm = std::sqrt(kernels::norm_squared(amps));
+  kernels::scale(amps, Amplitude{1.0 / norm, 0.0});
+  return amps;
+}
+
+TEST(Kernels, Gate1OnBasisStates) {
+  // X on qubit 1 of |00> gives |10> (index 2).
+  std::vector<Amplitude> amps(4, Amplitude{0.0, 0.0});
+  amps[0] = 1.0;
+  kernels::apply_gate1(amps, 2, 1, gates::X());
+  EXPECT_NEAR(std::abs(amps[2]), 1.0, 1e-12);
+  EXPECT_NEAR(std::abs(amps[0]), 0.0, 1e-12);
+}
+
+TEST(Kernels, Gate1PreservesNorm) {
+  Rng rng(3);
+  for (unsigned n = 1; n <= 6; ++n) {
+    auto amps = random_state(n, rng);
+    for (unsigned q = 0; q < n; ++q) {
+      kernels::apply_gate1(amps, n, q, gates::Ry(0.37 * (q + 1)));
+    }
+    EXPECT_NEAR(kernels::norm_squared(amps), 1.0, 1e-10);
+  }
+}
+
+TEST(Kernels, Gate1CommutesOnDistinctQubits) {
+  Rng rng(5);
+  auto a = random_state(4, rng);
+  auto b = a;
+  kernels::apply_gate1(a, 4, 0, gates::H());
+  kernels::apply_gate1(a, 4, 3, gates::T());
+  kernels::apply_gate1(b, 4, 3, gates::T());
+  kernels::apply_gate1(b, 4, 0, gates::H());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_LT(std::abs(a[i] - b[i]), 1e-12);
+  }
+}
+
+TEST(Kernels, Gate1RejectsBadArguments) {
+  std::vector<Amplitude> amps(4);
+  EXPECT_THROW(kernels::apply_gate1(amps, 2, 2, gates::X()), CheckFailure);
+  EXPECT_THROW(kernels::apply_gate1(amps, 3, 0, gates::X()), CheckFailure);
+}
+
+TEST(Kernels, ControlledGateActsOnlyWhenControlsSet) {
+  // CNOT with control qubit 0, target qubit 1.
+  std::vector<Amplitude> amps(4, Amplitude{0.0, 0.0});
+  amps[1] = 1.0;  // |01>: control (bit 0) is 1
+  kernels::apply_controlled_gate1(amps, 2, 0b01, 1, gates::X());
+  EXPECT_NEAR(std::abs(amps[3]), 1.0, 1e-12);  // -> |11>
+
+  std::fill(amps.begin(), amps.end(), Amplitude{0.0, 0.0});
+  amps[0] = 1.0;  // |00>: control clear -> no-op
+  kernels::apply_controlled_gate1(amps, 2, 0b01, 1, gates::X());
+  EXPECT_NEAR(std::abs(amps[0]), 1.0, 1e-12);
+}
+
+TEST(Kernels, ControlledGateRejectsSelfControl) {
+  std::vector<Amplitude> amps(4);
+  EXPECT_THROW(kernels::apply_controlled_gate1(amps, 2, 0b10, 1, gates::X()),
+               CheckFailure);
+}
+
+TEST(Kernels, MultiControlledGate) {
+  // Toffoli: controls 0 and 1, target 2.
+  std::vector<Amplitude> amps(8, Amplitude{0.0, 0.0});
+  amps[3] = 1.0;  // |011>
+  kernels::apply_controlled_gate1(amps, 3, 0b011, 2, gates::X());
+  EXPECT_NEAR(std::abs(amps[7]), 1.0, 1e-12);  // -> |111>
+}
+
+TEST(Kernels, PhaseFlipIndexIsInvolutive) {
+  Rng rng(7);
+  auto amps = random_state(4, rng);
+  const auto before = amps;
+  kernels::phase_flip_index(amps, 5);
+  EXPECT_LT(std::abs(amps[5] + before[5]), 1e-15);
+  kernels::phase_flip_index(amps, 5);
+  for (std::size_t i = 0; i < amps.size(); ++i) {
+    EXPECT_LT(std::abs(amps[i] - before[i]), 1e-15);
+  }
+}
+
+TEST(Kernels, PhaseRotateIndexAtPiEqualsFlip) {
+  Rng rng(9);
+  auto a = random_state(3, rng);
+  auto b = a;
+  kernels::phase_flip_index(a, 2);
+  kernels::phase_rotate_index(b, 2, kPi);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_LT(std::abs(a[i] - b[i]), 1e-12);
+  }
+}
+
+TEST(Kernels, PhaseFlipIfMatchesPredicate) {
+  Rng rng(11);
+  auto amps = random_state(4, rng);
+  const auto before = amps;
+  kernels::phase_flip_if(amps, [](Index x) { return x % 3 == 0; });
+  for (std::size_t i = 0; i < amps.size(); ++i) {
+    if (i % 3 == 0) {
+      EXPECT_LT(std::abs(amps[i] + before[i]), 1e-15);
+    } else {
+      EXPECT_LT(std::abs(amps[i] - before[i]), 1e-15);
+    }
+  }
+}
+
+TEST(Kernels, PhaseFlipMaskMatchesAllOnesOnly) {
+  Rng rng(13);
+  auto amps = random_state(3, rng);
+  const auto before = amps;
+  kernels::phase_flip_mask_all_ones(amps, 0b101);
+  for (std::size_t i = 0; i < amps.size(); ++i) {
+    const bool flipped = (i & 0b101u) == 0b101u;
+    EXPECT_LT(std::abs(amps[i] - (flipped ? -before[i] : before[i])), 1e-15);
+  }
+}
+
+TEST(Kernels, ReflectAboutUniformFixesUniform) {
+  const double amp = 1.0 / std::sqrt(8.0);
+  std::vector<Amplitude> amps(8, Amplitude{amp, 0.0});
+  kernels::reflect_about_uniform(amps);
+  for (const auto& a : amps) {
+    EXPECT_LT(std::abs(a - Amplitude{amp, 0.0}), 1e-14);
+  }
+}
+
+TEST(Kernels, ReflectAboutUniformNegatesOrthogonalComponent) {
+  // A vector orthogonal to uniform (sum zero) should be fully negated.
+  std::vector<Amplitude> amps{{1.0, 0.0}, {-1.0, 0.0}, {0.5, 0.0}, {-0.5, 0.0}};
+  const auto before = amps;
+  kernels::reflect_about_uniform(amps);
+  for (std::size_t i = 0; i < amps.size(); ++i) {
+    EXPECT_LT(std::abs(amps[i] + before[i]), 1e-14);
+  }
+}
+
+TEST(Kernels, ReflectAboutUniformIsInvolutive) {
+  Rng rng(17);
+  auto amps = random_state(5, rng);
+  const auto before = amps;
+  kernels::reflect_about_uniform(amps);
+  kernels::reflect_about_uniform(amps);
+  for (std::size_t i = 0; i < amps.size(); ++i) {
+    EXPECT_LT(std::abs(amps[i] - before[i]), 1e-12);
+  }
+}
+
+TEST(Kernels, BlockReflectEqualsGlobalWhenOneBlock) {
+  Rng rng(19);
+  auto a = random_state(4, rng);
+  auto b = a;
+  kernels::reflect_about_uniform(a);
+  kernels::reflect_blocks_about_uniform(b, b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_LT(std::abs(a[i] - b[i]), 1e-13);
+  }
+}
+
+TEST(Kernels, BlockReflectActsIndependentlyPerBlock) {
+  Rng rng(23);
+  auto amps = random_state(4, rng);  // 16 amplitudes, 4 blocks of 4
+  auto expected = amps;
+  kernels::reflect_blocks_about_uniform(amps, 4);
+  for (std::size_t b = 0; b < 4; ++b) {
+    std::vector<Amplitude> block(expected.begin() + static_cast<long>(4 * b),
+                                 expected.begin() + static_cast<long>(4 * b + 4));
+    kernels::reflect_about_uniform(block);
+    for (std::size_t i = 0; i < 4; ++i) {
+      EXPECT_LT(std::abs(amps[4 * b + i] - block[i]), 1e-13);
+    }
+  }
+}
+
+TEST(Kernels, BlockReflectRejectsNonDivisor) {
+  std::vector<Amplitude> amps(8);
+  EXPECT_THROW(kernels::reflect_blocks_about_uniform(amps, 3), CheckFailure);
+}
+
+TEST(Kernels, RotateBlocksAtPiEqualsMinusReflection) {
+  Rng rng(29);
+  auto a = random_state(4, rng);
+  auto b = a;
+  kernels::reflect_blocks_about_uniform(a, 4);
+  kernels::rotate_blocks_about_uniform(b, 4, kPi);
+  // rotate(pi) = I - 2|u><u| = -(2|u><u| - I).
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_LT(std::abs(a[i] + b[i]), 1e-12);
+  }
+}
+
+TEST(Kernels, RotateBlocksAtZeroIsIdentity) {
+  Rng rng(31);
+  auto amps = random_state(3, rng);
+  const auto before = amps;
+  kernels::rotate_blocks_about_uniform(amps, 4, 0.0);
+  for (std::size_t i = 0; i < amps.size(); ++i) {
+    EXPECT_LT(std::abs(amps[i] - before[i]), 1e-14);
+  }
+}
+
+TEST(Kernels, RotateBlocksPreservesNorm) {
+  Rng rng(37);
+  auto amps = random_state(5, rng);
+  kernels::rotate_blocks_about_uniform(amps, 8, 1.234);
+  EXPECT_NEAR(kernels::norm_squared(amps), 1.0, 1e-12);
+}
+
+TEST(Kernels, ReflectAboutStateMatchesUniformSpecialCase) {
+  Rng rng(41);
+  auto a = random_state(4, rng);
+  auto b = a;
+  std::vector<Amplitude> axis(16, Amplitude{0.25, 0.0});  // uniform, unit
+  kernels::reflect_about_uniform(a);
+  kernels::reflect_about_state(b, axis);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_LT(std::abs(a[i] - b[i]), 1e-12);
+  }
+}
+
+TEST(Kernels, ReflectAboutStateRequiresUnitAxis) {
+  std::vector<Amplitude> amps(4, Amplitude{0.5, 0.0});
+  std::vector<Amplitude> axis(4, Amplitude{0.5, 0.5});  // norm 2
+  EXPECT_THROW(kernels::reflect_about_state(amps, axis), CheckFailure);
+}
+
+TEST(Kernels, NonTargetMeanReflectLeavesTargetUntouched) {
+  Rng rng(43);
+  auto amps = random_state(4, rng);
+  const Amplitude target_before = amps[9];
+  kernels::reflect_non_target_about_their_mean(amps, 9);
+  EXPECT_LT(std::abs(amps[9] - target_before), 1e-15);
+}
+
+TEST(Kernels, NonTargetMeanReflectPreservesNorm) {
+  Rng rng(47);
+  auto amps = random_state(5, rng);
+  kernels::reflect_non_target_about_their_mean(amps, 0);
+  EXPECT_NEAR(kernels::norm_squared(amps), 1.0, 1e-12);
+}
+
+TEST(Kernels, NonTargetMeanReflectZeroesEqualAmplitudes) {
+  // If all non-target amplitudes equal 2 mu - a = a, they are fixed; but if
+  // they are all equal the reflection maps each a to 2a - a = a. The key
+  // partial-search property: when the non-target mean is exactly half of a
+  // uniform non-target amplitude... construct the Step-2 pattern directly:
+  // non-target-block states with amplitude c, target-block rest with
+  // amplitude b chosen so the overall mean is c/2 -> all become ... instead,
+  // verify the defining identity a' = 2*mean - a on the non-target set.
+  std::vector<Amplitude> amps{{0.9, 0.0}, {0.1, 0.0}, {0.3, 0.0}, {-0.1, 0.0}};
+  const Index t = 0;
+  const Amplitude mean = (amps[1] + amps[2] + amps[3]) / 3.0;
+  auto expected = amps;
+  for (std::size_t i = 1; i < 4; ++i) {
+    expected[i] = 2.0 * mean - amps[i];
+  }
+  kernels::reflect_non_target_about_their_mean(amps, t);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_LT(std::abs(amps[i] - expected[i]), 1e-14);
+  }
+}
+
+TEST(Kernels, InnerProductOrthonormalBasis) {
+  std::vector<Amplitude> e0{{1.0, 0.0}, {0.0, 0.0}};
+  std::vector<Amplitude> e1{{0.0, 0.0}, {1.0, 0.0}};
+  EXPECT_LT(std::abs(kernels::inner_product(e0, e1)), 1e-15);
+  EXPECT_LT(std::abs(kernels::inner_product(e0, e0) - Amplitude{1.0, 0.0}),
+            1e-15);
+}
+
+TEST(Kernels, InnerProductConjugatesFirstArgument) {
+  std::vector<Amplitude> a{{0.0, 1.0}};  // i
+  std::vector<Amplitude> b{{1.0, 0.0}};  // 1
+  // <a|b> = conj(i) * 1 = -i.
+  EXPECT_LT(std::abs(kernels::inner_product(a, b) - Amplitude{0.0, -1.0}),
+            1e-15);
+}
+
+TEST(Kernels, ScaleMultipliesEverything) {
+  std::vector<Amplitude> amps{{1.0, 0.0}, {2.0, 0.0}};
+  kernels::scale(amps, Amplitude{0.0, 1.0});
+  EXPECT_LT(std::abs(amps[0] - Amplitude{0.0, 1.0}), 1e-15);
+  EXPECT_LT(std::abs(amps[1] - Amplitude{0.0, 2.0}), 1e-15);
+}
+
+}  // namespace
+}  // namespace pqs::qsim

@@ -1,0 +1,132 @@
+#include "qsim/noise.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "partial/noisy.h"
+
+namespace pqs::qsim {
+namespace {
+
+TEST(Noise, DisabledModelInjectsNothing) {
+  auto sv = StateVector::uniform(5);
+  const auto before = sv;
+  Rng rng(1);
+  NoiseModel model;  // kNone
+  EXPECT_EQ(apply_noise(sv, model, rng), 0u);
+  model = {NoiseKind::kDepolarizing, 0.0};
+  EXPECT_EQ(apply_noise(sv, model, rng), 0u);
+  EXPECT_LT(sv.linf_distance(before), 1e-15);
+}
+
+TEST(Noise, ProbabilityOneDephasingFlipsEveryOneBit) {
+  // Z on every qubit: basis state |x> picks up (-1)^{popcount(x)}.
+  auto sv = StateVector::uniform(3);
+  Rng rng(2);
+  const NoiseModel model{NoiseKind::kDephasing, 1.0};
+  EXPECT_EQ(apply_noise(sv, model, rng), 3u);
+  for (Index x = 0; x < 8; ++x) {
+    const double sign = __builtin_popcountll(x) % 2 == 0 ? 1.0 : -1.0;
+    EXPECT_NEAR(sv.amplitude(x).real(), sign / std::sqrt(8.0), 1e-12)
+        << "x=" << x;
+  }
+}
+
+TEST(Noise, ProbabilityOneBitFlipPermutesBasis) {
+  // X on every qubit maps |x> -> |~x>.
+  auto sv = StateVector::basis(4, 0b0110);
+  Rng rng(3);
+  const NoiseModel model{NoiseKind::kBitFlip, 1.0};
+  apply_noise(sv, model, rng);
+  EXPECT_NEAR(sv.probability(0b1001), 1.0, 1e-12);
+}
+
+TEST(Noise, InjectionRateMatchesProbability) {
+  Rng rng(4);
+  const NoiseModel model{NoiseKind::kDepolarizing, 0.3};
+  std::uint64_t injected = 0;
+  constexpr int kTrials = 3000;
+  for (int t = 0; t < kTrials; ++t) {
+    auto sv = StateVector::uniform(4);
+    injected += apply_noise(sv, model, rng);
+  }
+  const double rate =
+      static_cast<double>(injected) / (4.0 * kTrials);  // per qubit
+  EXPECT_NEAR(rate, 0.3, 0.02);
+}
+
+TEST(Noise, PreservesNorm) {
+  Rng rng(5);
+  for (const auto kind : {NoiseKind::kDepolarizing, NoiseKind::kDephasing,
+                          NoiseKind::kBitFlip}) {
+    auto sv = StateVector::uniform(6);
+    sv.phase_flip(13);
+    sv.reflect_about_uniform();
+    const NoiseModel model{kind, 0.5};
+    for (int i = 0; i < 10; ++i) {
+      apply_noise(sv, model, rng);
+    }
+    EXPECT_NEAR(sv.norm_squared(), 1.0, 1e-10)
+        << noise_kind_name(kind);
+  }
+}
+
+TEST(Noise, RejectsInvalidProbability) {
+  auto sv = StateVector::uniform(2);
+  Rng rng(6);
+  const NoiseModel model{NoiseKind::kBitFlip, 1.5};
+  EXPECT_THROW(apply_noise(sv, model, rng), CheckFailure);
+}
+
+TEST(Noise, KindNamesAreDistinct) {
+  EXPECT_STRNE(noise_kind_name(NoiseKind::kDepolarizing),
+               noise_kind_name(NoiseKind::kDephasing));
+  EXPECT_STREQ(noise_kind_name(NoiseKind::kNone), "none");
+}
+
+TEST(NoisyPartial, ZeroNoiseMatchesCleanSuccess) {
+  Rng rng(7);
+  const oracle::Database db = oracle::Database::with_qubits(8, 99);
+  const NoiseModel none;
+  const auto result =
+      partial::run_noisy_partial_search(db, 2, none, 200, rng);
+  // Clean block probability at n=8 with the default floor is >= 0.75; the
+  // sampled rate should be in that ballpark.
+  EXPECT_GT(result.success_rate, 0.7);
+  EXPECT_EQ(result.mean_injected, 0.0);
+}
+
+TEST(NoisyPartial, SuccessDecreasesWithNoise) {
+  Rng rng(8);
+  const oracle::Database db = oracle::Database::with_qubits(8, 99);
+  const auto clean = partial::run_noisy_partial_search(
+      db, 2, NoiseModel{}, 150, rng);
+  const auto noisy = partial::run_noisy_partial_search(
+      db, 2, NoiseModel{NoiseKind::kDepolarizing, 0.02}, 150, rng);
+  const auto very_noisy = partial::run_noisy_partial_search(
+      db, 2, NoiseModel{NoiseKind::kDepolarizing, 0.2}, 150, rng);
+  EXPECT_GT(clean.success_rate, noisy.success_rate - 0.08);
+  EXPECT_GT(noisy.success_rate, very_noisy.success_rate);
+  // Heavy depolarizing drives the block answer toward uniform (1/K = 1/4).
+  EXPECT_LT(very_noisy.success_rate, 0.6);
+  EXPECT_GT(very_noisy.mean_injected, clean.mean_injected);
+}
+
+TEST(NoisyPartial, PartialDegradesSlowerThanFullAtEqualPerQueryNoise) {
+  // Partial search runs fewer queries, so fewer noise points: for the same
+  // block question it should retain accuracy at least as well.
+  Rng rng(9);
+  const oracle::Database db = oracle::Database::with_qubits(10, 700);
+  const NoiseModel model{NoiseKind::kDepolarizing, 0.01};
+  const auto partial_run =
+      partial::run_noisy_partial_search(db, 2, model, 120, rng);
+  const auto full_run =
+      partial::run_noisy_full_search_block(db, 2, model, 120, rng);
+  EXPECT_LT(partial_run.queries_per_trial, full_run.queries_per_trial);
+  EXPECT_GT(partial_run.success_rate, full_run.success_rate - 0.1);
+}
+
+}  // namespace
+}  // namespace pqs::qsim

@@ -1,0 +1,202 @@
+#include "partial/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "common/check.h"
+#include "common/math.h"
+#include "partial/bounds.h"
+
+namespace pqs::partial {
+namespace {
+
+TEST(StepAngles, EpsZeroIsFullSearch) {
+  // eps = 0: theta = 0, no Step-2 work needed at all.
+  const auto a = step_angles(0.0, 8);
+  ASSERT_TRUE(a.feasible);
+  EXPECT_NEAR(a.theta, 0.0, 1e-15);
+  EXPECT_NEAR(a.theta1, 0.0, 1e-15);
+  EXPECT_NEAR(a.theta2, 0.0, 1e-15);
+}
+
+TEST(StepAngles, FeasibilityEndsForLargeKAndEps) {
+  // For K > 4 the theta2 arcsin argument exceeds 1 as eps -> 1.
+  EXPECT_TRUE(step_angles(1.0, 4).feasible);
+  EXPECT_FALSE(step_angles(1.0, 5).feasible);
+  EXPECT_FALSE(step_angles(1.0, 32).feasible);
+  EXPECT_TRUE(step_angles(0.1, 32).feasible);
+}
+
+TEST(StepAngles, K2HasNoTheta2) {
+  // K = 2: the (K-2) factor kills theta2 for every eps.
+  for (double eps : {0.2, 0.5, 0.9, 1.0}) {
+    const auto a = step_angles(eps, 2);
+    ASSERT_TRUE(a.feasible);
+    EXPECT_NEAR(a.theta2, 0.0, 1e-15) << "eps=" << eps;
+  }
+}
+
+TEST(StepAngles, RejectsOutOfRangeEps) {
+  EXPECT_THROW(step_angles(-0.1, 4), CheckFailure);
+  EXPECT_THROW(step_angles(1.1, 4), CheckFailure);
+}
+
+TEST(QueryCoefficient, EpsZeroEqualsQuarterPi) {
+  for (std::uint64_t k : {2u, 3u, 8u, 64u}) {
+    EXPECT_NEAR(query_coefficient(0.0, k), kQuarterPi, 1e-12) << "K=" << k;
+  }
+}
+
+TEST(QueryCoefficient, InfeasibleEpsIsInfinite) {
+  EXPECT_TRUE(std::isinf(query_coefficient(1.0, 32)));
+}
+
+TEST(OptimizeEpsilon, ReproducesPaperTableToThreeDecimals) {
+  // THE key reproduction: Section 3.1's "Upper bound" column.
+  const struct {
+    std::uint64_t k;
+    double paper;
+  } rows[] = {{2, 0.555}, {3, 0.592}, {4, 0.615},
+              {5, 0.633}, {8, 0.664}, {32, 0.725}};
+  for (const auto& row : rows) {
+    const auto opt = optimize_epsilon(row.k);
+    EXPECT_NEAR(opt.coefficient, row.paper, 1.5e-3) << "K=" << row.k;
+  }
+}
+
+TEST(OptimizeEpsilon, BeatsFullSearchForEveryK) {
+  for (std::uint64_t k = 2; k <= 512; k *= 2) {
+    const auto opt = optimize_epsilon(k);
+    EXPECT_LT(opt.coefficient, kQuarterPi) << "K=" << k;
+  }
+}
+
+TEST(OptimizeEpsilon, RespectsTheorem2LowerBound) {
+  for (std::uint64_t k = 2; k <= 1024; k *= 2) {
+    const auto opt = optimize_epsilon(k);
+    EXPECT_GT(opt.coefficient, lower_bound_coefficient(k)) << "K=" << k;
+  }
+}
+
+TEST(OptimizeEpsilon, BeatsNaiveBlockDiscard) {
+  // The Section-3 algorithm must dominate the Section-1.2 naive algorithm.
+  for (std::uint64_t k = 2; k <= 256; k *= 2) {
+    const auto opt = optimize_epsilon(k);
+    EXPECT_LT(opt.coefficient, naive_block_discard_coefficient(k))
+        << "K=" << k;
+  }
+}
+
+TEST(OptimizeEpsilon, SavingsScaleAsOneOverSqrtK) {
+  // Theorem 1: c_K >= 0.42/sqrt(K) for large K, i.e.
+  // (pi/4 - coefficient) * 4/pi * sqrt(K) >= 0.42.
+  for (std::uint64_t k : {64u, 256u, 1024u, 4096u}) {
+    const auto opt = optimize_epsilon(k);
+    const double c_k =
+        (kQuarterPi - opt.coefficient) / kQuarterPi * std::sqrt(static_cast<double>(k));
+    EXPECT_GE(c_k, 0.42) << "K=" << k;
+    EXPECT_LE(c_k, 1.0) << "K=" << k;  // cannot beat the lower bound scale
+  }
+}
+
+TEST(OptimizeEpsilon, RecipeEpsIsNearlyOptimalForLargeK) {
+  // The paper's eps = 1/sqrt(K) recipe is within O(1/K) of the optimum.
+  for (std::uint64_t k : {64u, 1024u}) {
+    const auto opt = optimize_epsilon(k);
+    const double recipe = recipe_coefficient(k);
+    EXPECT_GE(recipe, opt.coefficient - 1e-12);
+    EXPECT_LT(recipe - opt.coefficient, 2.0 / static_cast<double>(k));
+  }
+}
+
+TEST(OptimizeEpsilon, K2OptimumSkipsStepOneAlmostEntirely) {
+  // For K = 2 the optimum sits at (numerically, just inside) eps = 1: Step 1
+  // contributes essentially nothing and the coefficient is within 1e-6 of
+  // the boundary value (pi/2)/(2 sqrt(2)) = 0.5554.
+  const auto opt = optimize_epsilon(2);
+  EXPECT_NEAR(opt.epsilon, 1.0, 1e-2);
+  EXPECT_LE(opt.coefficient, kHalfPi / (2.0 * std::sqrt(2.0)) + 1e-12);
+  EXPECT_NEAR(opt.coefficient, kHalfPi / (2.0 * std::sqrt(2.0)), 1e-6);
+}
+
+class IntegerOptimizerShape
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>> {};
+
+TEST_P(IntegerOptimizerShape, MeetsFloorAndIsMinimal) {
+  const auto [n_bits, k_bits] = GetParam();
+  const std::uint64_t n_items = pow2(n_bits);
+  const std::uint64_t k_blocks = pow2(k_bits);
+  const double floor_p = default_min_success(n_items);
+  const auto opt = optimize_integer(n_items, k_blocks, floor_p);
+
+  EXPECT_GE(opt.success, floor_p);
+  EXPECT_EQ(opt.queries, opt.l1 + opt.l2 + 1);
+
+  // Minimality: no (l1', l2') with one query fewer meets the floor.
+  const SubspaceModel model(n_items, k_blocks);
+  const std::uint64_t budget = opt.queries - 1;  // l1' + l2' + 1 = budget
+  for (std::uint64_t l1 = 0; l1 + 1 <= budget; ++l1) {
+    const std::uint64_t l2 = budget - 1 - l1;
+    const double p = model.run_grk(l1, l2).target_block_probability();
+    ASSERT_LT(p, floor_p) << "cheaper (l1=" << l1 << ", l2=" << l2
+                          << ") also meets the floor";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, IntegerOptimizerShape,
+                         ::testing::Values(std::tuple{8u, 1u},
+                                           std::tuple{8u, 2u},
+                                           std::tuple{10u, 1u},
+                                           std::tuple{10u, 3u},
+                                           std::tuple{12u, 2u},
+                                           std::tuple{12u, 4u}));
+
+TEST(OptimizeInteger, BeatsFullGroverCount) {
+  const std::uint64_t n_items = 1 << 16;
+  for (std::uint64_t k : {2u, 4u, 8u, 32u}) {
+    const auto opt =
+        optimize_integer(n_items, k, default_min_success(n_items));
+    EXPECT_LT(opt.queries, grover_optimal_iterations(n_items)) << "K=" << k;
+  }
+}
+
+TEST(OptimizeInteger, QueriesGrowWithK) {
+  // Larger K = more of the address wanted = closer to full search.
+  const std::uint64_t n_items = 1 << 14;
+  std::uint64_t prev = 0;
+  for (std::uint64_t k : {2u, 4u, 8u, 16u, 32u}) {
+    const auto opt =
+        optimize_integer(n_items, k, default_min_success(n_items));
+    EXPECT_GE(opt.queries, prev) << "K=" << k;
+    prev = opt.queries;
+  }
+}
+
+TEST(OptimizeInteger, ImpossibleFloorThrows) {
+  EXPECT_THROW(optimize_integer(256, 4, 1.1), CheckFailure);
+}
+
+TEST(OptimizeInteger, CoefficientApproachesAsymptoticOptimum) {
+  // With the tight floor 1 - 1/sqrt(N), the finite-N count divided by
+  // sqrt(N) should approach the eps-optimum coefficient from below-ish;
+  // at n = 18 they agree to a few percent of sqrt(N).
+  const std::uint64_t n_items = 1 << 18;
+  const double sqrt_n = std::sqrt(static_cast<double>(n_items));
+  for (std::uint64_t k : {4u, 8u}) {
+    const auto opt =
+        optimize_integer(n_items, k, 1.0 - 1.0 / sqrt_n);
+    const double measured = static_cast<double>(opt.queries) / sqrt_n;
+    const double asymptotic = optimize_epsilon(k).coefficient;
+    EXPECT_NEAR(measured, asymptotic, 0.04) << "K=" << k;
+  }
+}
+
+TEST(DefaultMinSuccess, MatchesPaperErrorScale) {
+  EXPECT_NEAR(default_min_success(1 << 16), 1.0 - 4.0 / 256.0, 1e-15);
+  EXPECT_LT(default_min_success(100), 1.0);
+}
+
+}  // namespace
+}  // namespace pqs::partial

@@ -1,0 +1,131 @@
+#include "reduction/reduction.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math.h"
+#include "partial/bounds.h"
+#include "partial/certainty.h"
+#include "partial/optimizer.h"
+
+namespace pqs::reduction {
+namespace {
+
+TEST(Reduction, FindsTargetExactly) {
+  Rng rng(11);
+  for (const qsim::Index target : {0u, 1u, 500u, 1023u}) {
+    const oracle::Database db = oracle::Database::with_qubits(10, target);
+    const auto result = search_full_via_partial(db, 2, rng);
+    ASSERT_TRUE(result.correct) << "target=" << target;
+    ASSERT_EQ(result.found, target);
+  }
+}
+
+TEST(Reduction, LevelSizesShrinkByK) {
+  Rng rng(12);
+  const oracle::Database db = oracle::Database::with_qubits(12, 999);
+  const auto result = search_full_via_partial(db, 2, rng);
+  ASSERT_GE(result.levels.size(), 2u);
+  for (std::size_t i = 0; i + 1 < result.levels.size(); ++i) {
+    if (result.levels[i].via_partial_search) {
+      EXPECT_EQ(result.levels[i + 1].db_size, result.levels[i].db_size / 4);
+    }
+  }
+  EXPECT_FALSE(result.levels.back().via_partial_search);
+}
+
+TEST(Reduction, QueryAccountingAddsUp) {
+  Rng rng(13);
+  const oracle::Database db = oracle::Database::with_qubits(10, 77);
+  const auto result = search_full_via_partial(db, 1, rng);
+  std::uint64_t total = 0;
+  for (const auto& level : result.levels) {
+    total += level.queries;
+  }
+  EXPECT_EQ(total, result.total_queries);
+  EXPECT_EQ(db.queries(), result.total_queries);
+}
+
+TEST(Reduction, BitsFixedSumToN) {
+  Rng rng(14);
+  const oracle::Database db = oracle::Database::with_qubits(11, 2047);
+  const auto result = search_full_via_partial(db, 3, rng);
+  std::uint64_t bits = 0;
+  for (const auto& level : result.levels) {
+    bits += level.bits_fixed;
+  }
+  EXPECT_EQ(bits, 11u);
+  EXPECT_TRUE(result.correct);
+}
+
+TEST(Reduction, TotalQueriesWithinTheorem2Accounting) {
+  // Measured total <= bound computed from the *measured* per-level
+  // coefficient is circular; instead compare against the geometric bound
+  // with the certainty schedule's own top-level coefficient, plus the
+  // brute-force tail.
+  Rng rng(15);
+  const unsigned n = 14;
+  const unsigned k = 2;
+  const std::uint64_t n_items = pow2(n);
+  const oracle::Database db = oracle::Database::with_qubits(n, 12345);
+  const auto result = search_full_via_partial(db, k, rng);
+
+  const auto top = partial::certainty_schedule(n_items, pow2(k));
+  const double top_coeff = static_cast<double>(top.queries) /
+                           std::sqrt(static_cast<double>(n_items));
+  const double bound =
+      theorem2_query_bound(top_coeff, n_items, pow2(k)) +
+      32.0;  // brute-force tail + per-level O(1) slack
+  EXPECT_LE(static_cast<double>(result.total_queries), bound);
+}
+
+TEST(Reduction, CannotBeatZalkaFloor) {
+  // The reduction solves FULL search with zero error, so it cannot use fewer
+  // than ~ (pi/4) sqrt(N) queries. This is exactly how Theorem 2's proof
+  // forces the partial-search lower bound.
+  Rng rng(16);
+  const unsigned n = 14;
+  const std::uint64_t n_items = pow2(n);
+  const oracle::Database db = oracle::Database::with_qubits(n, 4242);
+  const auto result = search_full_via_partial(db, 2, rng);
+  const double zalka_floor =
+      kQuarterPi * std::sqrt(static_cast<double>(n_items));
+  // Allow the O(sqrt(N_level)) lower-order corrections of finite levels.
+  EXPECT_GT(static_cast<double>(result.total_queries), 0.8 * zalka_floor);
+}
+
+TEST(Reduction, LargerKMeansFewerLevels) {
+  Rng rng(17);
+  const oracle::Database db1 = oracle::Database::with_qubits(12, 100);
+  const auto r1 = search_full_via_partial(db1, 1, rng);
+  const oracle::Database db2 = oracle::Database::with_qubits(12, 100);
+  const auto r4 = search_full_via_partial(db2, 4, rng);
+  EXPECT_GT(r1.levels.size(), r4.levels.size());
+}
+
+TEST(Reduction, BruteForceThresholdRespected) {
+  Rng rng(18);
+  const oracle::Database db = oracle::Database::with_qubits(10, 512);
+  ReductionOptions options;
+  options.brute_force_below = 64;
+  const auto result = search_full_via_partial(db, 2, rng, options);
+  ASSERT_TRUE(result.correct);
+  EXPECT_FALSE(result.levels.back().via_partial_search);
+  EXPECT_LE(result.levels.back().db_size, 64u);
+}
+
+TEST(Reduction, Theorem2BoundFormula) {
+  // alpha sqrt(K)/(sqrt(K)-1) sqrt(N).
+  EXPECT_NEAR(theorem2_query_bound(0.5, 1 << 10, 4), 0.5 * 32.0 * 2.0, 1e-9);
+}
+
+TEST(Reduction, RejectsNonPowerOfTwo) {
+  Rng rng(19);
+  const oracle::Database db(12, 3);
+  EXPECT_THROW(search_full_via_partial(db, 1, rng), CheckFailure);
+}
+
+}  // namespace
+}  // namespace pqs::reduction

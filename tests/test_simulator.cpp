@@ -1,0 +1,102 @@
+#include "qsim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/math.h"
+#include "grover/grover.h"
+#include "oracle/database.h"
+
+namespace pqs::qsim {
+namespace {
+
+TEST(Simulator, RunStateMatchesDirectCircuitApplication) {
+  const oracle::Database db = oracle::Database::with_qubits(6, 40);
+  const auto circuit = make_grover_circuit(6, 4);
+  Simulator sim(1);
+  const auto via_sim = sim.run_state(circuit, db.view());
+  auto direct = StateVector::uniform(6);
+  circuit.apply(direct, db.view());
+  EXPECT_LT(via_sim.linf_distance(direct), 1e-12);
+}
+
+TEST(Simulator, ShotsAreReproducibleFromSeed) {
+  const oracle::Database db = oracle::Database::with_qubits(5, 11);
+  const auto circuit = make_grover_circuit(5, 3);
+  Simulator a(77), b(77);
+  const auto ra = a.run_shots(circuit, db.view(), 500);
+  const auto rb = b.run_shots(circuit, db.view(), 500);
+  EXPECT_EQ(ra.counts, rb.counts);
+}
+
+TEST(Simulator, ReseedResetsTheStream) {
+  const oracle::Database db = oracle::Database::with_qubits(5, 11);
+  const auto circuit = make_grover_circuit(5, 3);
+  Simulator sim(123);
+  const auto first = sim.run_shots(circuit, db.view(), 300);
+  sim.reseed(123);
+  const auto second = sim.run_shots(circuit, db.view(), 300);
+  EXPECT_EQ(first.counts, second.counts);
+}
+
+TEST(Simulator, GroverShotsConcentrateOnTarget) {
+  const unsigned n = 8;
+  const oracle::Database db = oracle::Database::with_qubits(n, 200);
+  const auto circuit =
+      make_grover_circuit(n, grover::optimal_iterations(pow2(n)));
+  Simulator sim(5);
+  const auto report = sim.run_shots(circuit, db.view(), 400);
+  EXPECT_EQ(report.mode, 200u);
+  EXPECT_GT(report.mode_frequency, 0.95);
+  EXPECT_EQ(report.queries_per_shot, grover::optimal_iterations(256));
+}
+
+TEST(Simulator, BlockShotsAnswerThePartialQuestion) {
+  const unsigned n = 8, k = 2;
+  const oracle::Database db = oracle::Database::with_qubits(n, 200);
+  Circuit circuit(n);
+  for (int i = 0; i < 8; ++i) {
+    circuit.grover_iteration();
+  }
+  Simulator sim(6);
+  const auto report = sim.run_block_shots(circuit, db.view(), k, 400);
+  EXPECT_EQ(report.mode, 200u >> (n - k));
+  std::uint64_t total = 0;
+  for (const auto& [outcome, count] : report.counts) {
+    EXPECT_LT(outcome, 4u);
+    total += count;
+  }
+  EXPECT_EQ(total, 400u);
+}
+
+TEST(Simulator, NoisyShotsDegradeTheMode) {
+  const unsigned n = 7;
+  const oracle::Database db = oracle::Database::with_qubits(n, 100);
+  const auto circuit =
+      make_grover_circuit(n, grover::optimal_iterations(pow2(n)));
+  Simulator clean(9), noisy(9);
+  noisy.set_noise({NoiseKind::kDepolarizing, 0.05});
+  const auto clean_report = clean.run_shots(circuit, db.view(), 150);
+  const auto noisy_report = noisy.run_shots(circuit, db.view(), 150);
+  EXPECT_GT(clean_report.mode_frequency, noisy_report.mode_frequency);
+}
+
+TEST(Simulator, ReportRenderingListsTopOutcomes) {
+  const oracle::Database db = oracle::Database::with_qubits(4, 9);
+  const auto circuit = make_grover_circuit(4, 2);
+  Simulator sim(10);
+  const auto report = sim.run_shots(circuit, db.view(), 200);
+  const std::string text = report.to_string(3);
+  EXPECT_NE(text.find("shots=200"), std::string::npos);
+  EXPECT_NE(text.find("9:"), std::string::npos);  // the target outcome
+}
+
+TEST(Simulator, RejectsZeroShots) {
+  const oracle::Database db = oracle::Database::with_qubits(3, 1);
+  const auto circuit = make_grover_circuit(3, 1);
+  Simulator sim(11);
+  EXPECT_THROW(sim.run_shots(circuit, db.view(), 0), CheckFailure);
+}
+
+}  // namespace
+}  // namespace pqs::qsim

@@ -1,0 +1,154 @@
+#include "qsim/state_vector.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math.h"
+
+namespace pqs::qsim {
+namespace {
+
+TEST(StateVector, ZeroStateIsBasisZero) {
+  const auto sv = StateVector::zero_state(3);
+  EXPECT_EQ(sv.dimension(), 8u);
+  EXPECT_NEAR(sv.probability(0), 1.0, 1e-15);
+  for (Index x = 1; x < 8; ++x) {
+    EXPECT_NEAR(sv.probability(x), 0.0, 1e-15);
+  }
+}
+
+TEST(StateVector, UniformHasEqualProbabilities) {
+  const auto sv = StateVector::uniform(4);
+  for (Index x = 0; x < 16; ++x) {
+    EXPECT_NEAR(sv.probability(x), 1.0 / 16.0, 1e-15);
+  }
+  EXPECT_NEAR(sv.norm_squared(), 1.0, 1e-14);
+}
+
+TEST(StateVector, BasisState) {
+  const auto sv = StateVector::basis(3, 5);
+  EXPECT_NEAR(sv.probability(5), 1.0, 1e-15);
+  EXPECT_NEAR(sv.norm_squared(), 1.0, 1e-15);
+}
+
+TEST(StateVector, BasisRejectsOutOfRange) {
+  EXPECT_THROW(StateVector::basis(2, 4), CheckFailure);
+}
+
+TEST(StateVector, FromAmplitudesRequiresPowerOfTwo) {
+  EXPECT_THROW(StateVector::from_amplitudes(std::vector<Amplitude>(12)),
+               CheckFailure);
+  const auto sv =
+      StateVector::from_amplitudes(std::vector<Amplitude>(8, {0.25, 0.0}));
+  EXPECT_EQ(sv.num_qubits(), 3u);
+}
+
+TEST(StateVector, QubitCountLimits) {
+  EXPECT_THROW(StateVector(0), CheckFailure);
+  EXPECT_THROW(StateVector(kMaxQubits + 1), CheckFailure);
+}
+
+TEST(StateVector, NormalizeRescales) {
+  auto sv = StateVector::from_amplitudes(
+      std::vector<Amplitude>{{3.0, 0.0}, {4.0, 0.0}});
+  EXPECT_NEAR(sv.norm(), 5.0, 1e-12);
+  sv.normalize();
+  EXPECT_NEAR(sv.norm(), 1.0, 1e-12);
+  EXPECT_NEAR(sv.probability(0), 9.0 / 25.0, 1e-12);
+}
+
+TEST(StateVector, InnerAndFidelity) {
+  const auto a = StateVector::basis(2, 1);
+  const auto b = StateVector::uniform(2);
+  EXPECT_NEAR(std::abs(a.inner(b)), 0.5, 1e-12);
+  EXPECT_NEAR(a.fidelity(b), 0.25, 1e-12);
+  EXPECT_NEAR(a.fidelity(a), 1.0, 1e-12);
+}
+
+TEST(StateVector, BlockProbabilityPartitionsUnity) {
+  auto sv = StateVector::uniform(5);
+  sv.apply_gate1(0, gates::T());
+  sv.apply_gate1(3, gates::H());
+  for (unsigned k = 1; k <= 5; ++k) {
+    const auto dist = sv.block_distribution(k);
+    double total = 0.0;
+    for (const double p : dist) {
+      total += p;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-12) << "k=" << k;
+  }
+}
+
+TEST(StateVector, BlockProbabilityUsesMostSignificantBits) {
+  // |110> (index 6) with k=1 lies in block 1; with k=2 in block 3.
+  const auto sv = StateVector::basis(3, 6);
+  EXPECT_NEAR(sv.block_probability(1, 1), 1.0, 1e-15);
+  EXPECT_NEAR(sv.block_probability(2, 3), 1.0, 1e-15);
+  EXPECT_NEAR(sv.block_probability(2, 0), 0.0, 1e-15);
+}
+
+TEST(StateVector, HadamardAllMapsZeroToUniform) {
+  auto sv = StateVector::zero_state(6);
+  sv.apply_hadamard_all();
+  const auto uniform = StateVector::uniform(6);
+  EXPECT_LT(sv.linf_distance(uniform), 1e-12);
+}
+
+TEST(StateVector, ReflectionsPreserveNorm) {
+  auto sv = StateVector::uniform(6);
+  sv.phase_flip(17);
+  sv.reflect_about_uniform();
+  sv.reflect_blocks_about_uniform(2);
+  sv.rotate_blocks_about_uniform(2, 0.77);
+  sv.reflect_non_target_about_their_mean(17);
+  EXPECT_NEAR(sv.norm_squared(), 1.0, 1e-12);
+}
+
+TEST(StateVector, SampleFollowsDistribution) {
+  // 3/4 weight on |01>, 1/4 on |10>.
+  auto sv = StateVector::from_amplitudes(std::vector<Amplitude>{
+      {0.0, 0.0}, {std::sqrt(0.75), 0.0}, {0.5, 0.0}, {0.0, 0.0}});
+  Rng rng(99);
+  int count1 = 0;
+  constexpr int kShots = 20000;
+  for (int s = 0; s < kShots; ++s) {
+    const Index x = sv.sample(rng);
+    ASSERT_TRUE(x == 1 || x == 2);
+    count1 += x == 1 ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(count1) / kShots, 0.75, 0.02);
+}
+
+TEST(StateVector, SampleBlockMatchesBlockDistribution) {
+  auto sv = StateVector::uniform(4);
+  sv.phase_flip(3);
+  sv.reflect_about_uniform();  // one Grover step toward block 0
+  Rng rng(7);
+  const auto dist = sv.block_distribution(2);
+  std::vector<int> counts(4, 0);
+  constexpr int kShots = 40000;
+  for (int s = 0; s < kShots; ++s) {
+    ++counts[sv.sample_block(2, rng)];
+  }
+  for (std::size_t b = 0; b < 4; ++b) {
+    EXPECT_NEAR(static_cast<double>(counts[b]) / kShots, dist[b], 0.02);
+  }
+}
+
+TEST(StateVector, RenderShowsBlocksAndValues) {
+  const auto sv = StateVector::uniform(3);
+  const std::string r = sv.render_real_amplitudes(1);
+  EXPECT_NE(r.find("block 0"), std::string::npos);
+  EXPECT_NE(r.find("block 1"), std::string::npos);
+  EXPECT_NE(r.find("0.35"), std::string::npos);  // 1/sqrt(8) = 0.3536
+}
+
+TEST(StateVector, RenderRejectsLargeStates) {
+  const auto sv = StateVector::uniform(10);
+  EXPECT_THROW(sv.render_real_amplitudes(), CheckFailure);
+}
+
+}  // namespace
+}  // namespace pqs::qsim

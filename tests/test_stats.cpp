@@ -1,0 +1,146 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace pqs {
+namespace {
+
+TEST(RunningStats, MeanAndVarianceMatchDirectComputation) {
+  const std::vector<double> xs{1.0, 2.0, 4.0, 8.0, 16.0};
+  RunningStats rs;
+  for (const double x : xs) {
+    rs.add(x);
+  }
+  const double mean = (1 + 2 + 4 + 8 + 16) / 5.0;
+  double var = 0.0;
+  for (const double x : xs) {
+    var += (x - mean) * (x - mean);
+  }
+  var /= 4.0;
+  EXPECT_DOUBLE_EQ(rs.mean(), mean);
+  EXPECT_NEAR(rs.variance(), var, 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), 1.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 16.0);
+  EXPECT_EQ(rs.count(), 5u);
+}
+
+TEST(RunningStats, EmptyMeanThrows) {
+  RunningStats rs;
+  EXPECT_THROW(rs.mean(), CheckFailure);
+}
+
+TEST(RunningStats, SingleSampleHasZeroVariance) {
+  RunningStats rs;
+  rs.add(42.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.stddev(), 0.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  Rng rng(5);
+  RunningStats whole, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal() * 3.0 + 1.0;
+    whole.add(x);
+    (i < 500 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean_before = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean_before);
+  EXPECT_EQ(a.count(), 2u);
+
+  RunningStats b;
+  b.merge(a);
+  EXPECT_DOUBLE_EQ(b.mean(), mean_before);
+}
+
+TEST(RunningStats, Ci95ShrinksWithSamples) {
+  Rng rng(9);
+  RunningStats small, large;
+  for (int i = 0; i < 100; ++i) {
+    small.add(rng.normal());
+  }
+  for (int i = 0; i < 10000; ++i) {
+    large.add(rng.normal());
+  }
+  EXPECT_LT(large.ci95_halfwidth(), small.ci95_halfwidth());
+}
+
+TEST(Histogram, BinningAndCounts) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.0);   // bin 0
+  h.add(1.9);   // bin 0
+  h.add(2.0);   // bin 1
+  h.add(9.99);  // bin 4
+  h.add(-1.0);  // underflow
+  h.add(10.0);  // overflow (half-open)
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(1), 1u);
+  EXPECT_EQ(h.bin_count(4), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.total(), 6u);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(-1.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), -1.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), -0.5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(3), 0.5);
+  EXPECT_DOUBLE_EQ(h.bin_hi(3), 1.0);
+}
+
+TEST(Histogram, RenderMentionsCounts) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(0.25);
+  h.add(0.75);
+  h.add(0.8);
+  const std::string r = h.render(10);
+  EXPECT_NE(r.find('#'), std::string::npos);
+  EXPECT_NE(r.find('2'), std::string::npos);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 0.0, 4), CheckFailure);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), CheckFailure);
+}
+
+TEST(SignedBar, PositiveGoesRightNegativeGoesLeft) {
+  const std::string pos = signed_bar(0.5, 1.0, 10);
+  const std::string neg = signed_bar(-0.5, 1.0, 10);
+  EXPECT_EQ(pos[10], '|');
+  EXPECT_EQ(pos[11], '#');
+  EXPECT_EQ(pos[9], ' ');
+  EXPECT_EQ(neg[9], '#');
+  EXPECT_EQ(neg[11], ' ');
+}
+
+TEST(SignedBar, FullScaleFillsHalfWidth) {
+  const std::string bar = signed_bar(1.0, 1.0, 8);
+  EXPECT_EQ(bar.size(), 17u);
+  EXPECT_EQ(bar.back(), '#');
+}
+
+TEST(SignedBar, ClampsBeyondMax) {
+  EXPECT_EQ(signed_bar(5.0, 1.0, 8), signed_bar(1.0, 1.0, 8));
+}
+
+}  // namespace
+}  // namespace pqs

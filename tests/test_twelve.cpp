@@ -1,0 +1,127 @@
+#include "partial/twelve.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace pqs::partial {
+namespace {
+
+constexpr double kInvSqrt12 = 0.28867513459481287;  // 1/sqrt(12)
+
+TEST(Figure1, UsesExactlyTwoQueries) {
+  EXPECT_EQ(run_figure1().queries, 2u);
+}
+
+TEST(Figure1, StageA_UniformSuperposition) {
+  const auto trace = run_figure1(7);
+  for (const double a : trace.stages[0]) {
+    EXPECT_NEAR(a, kInvSqrt12, 1e-12);
+  }
+}
+
+TEST(Figure1, StageB_TargetInverted) {
+  const auto trace = run_figure1(7);
+  for (std::size_t i = 0; i < 12; ++i) {
+    EXPECT_NEAR(trace.stages[1][i], (i == 7 ? -1.0 : 1.0) * kInvSqrt12,
+                1e-12);
+  }
+}
+
+TEST(Figure1, StageC_BlockInversionConcentratesTarget) {
+  // Target block (4..7): rest 0, target 2/sqrt(12); other blocks unchanged.
+  const auto trace = run_figure1(7);
+  for (std::size_t i = 0; i < 12; ++i) {
+    double expected = kInvSqrt12;
+    if (i == 7) {
+      expected = 2.0 * kInvSqrt12;
+    } else if (i >= 4 && i < 8) {
+      expected = 0.0;
+    }
+    EXPECT_NEAR(trace.stages[2][i], expected, 1e-12) << "i=" << i;
+  }
+}
+
+TEST(Figure1, StageD_TargetInvertedAgain) {
+  const auto trace = run_figure1(7);
+  EXPECT_NEAR(trace.stages[3][7], -2.0 * kInvSqrt12, 1e-12);
+}
+
+TEST(Figure1, StageE_AllAmplitudeInTargetBlock) {
+  // Final: non-target blocks exactly 0; target block (1,1,1,3)/sqrt(12).
+  const auto trace = run_figure1(7);
+  for (std::size_t i = 0; i < 12; ++i) {
+    double expected = 0.0;
+    if (i == 7) {
+      expected = 3.0 * kInvSqrt12;
+    } else if (i >= 4 && i < 8) {
+      expected = kInvSqrt12;
+    }
+    EXPECT_NEAR(trace.stages[4][i], expected, 1e-12) << "i=" << i;
+  }
+}
+
+TEST(Figure1, BlockProbabilityOneTargetThreeQuarters) {
+  const auto trace = run_figure1(7);
+  EXPECT_NEAR(trace.block_probability, 1.0, 1e-12);
+  EXPECT_NEAR(trace.target_probability, 0.75, 1e-12);
+}
+
+TEST(Figure1, WorksForEveryTargetPosition) {
+  for (qsim::Index t = 0; t < 12; ++t) {
+    const auto trace = run_figure1(t);
+    ASSERT_NEAR(trace.block_probability, 1.0, 1e-12) << "target=" << t;
+    ASSERT_NEAR(trace.target_probability, 0.75, 1e-12) << "target=" << t;
+  }
+}
+
+TEST(Figure1, RejectsOutOfRangeTarget) {
+  EXPECT_THROW(run_figure1(12), CheckFailure);
+}
+
+TEST(Figure1, RenderShowsAllStages) {
+  const auto trace = run_figure1(7);
+  const std::string r = trace.render();
+  EXPECT_NE(r.find("(A)"), std::string::npos);
+  EXPECT_NE(r.find("(E)"), std::string::npos);
+  EXPECT_NE(r.find("query 1"), std::string::npos);
+  EXPECT_NE(r.find("query 2"), std::string::npos);
+}
+
+TEST(TwoQuery, ExactnessConditionEnumeratesInstances) {
+  // N = 4K/(K-2) with K | N and N/K >= 2: exactly (12, 3) and (8, 4).
+  const auto instances = two_query_instances(64);
+  ASSERT_EQ(instances.size(), 2u);
+  EXPECT_EQ(instances[0].n_items, 12u);
+  EXPECT_EQ(instances[0].k_blocks, 3u);
+  EXPECT_EQ(instances[1].n_items, 8u);
+  EXPECT_EQ(instances[1].k_blocks, 4u);
+}
+
+TEST(TwoQuery, ExactInstancesReachProbabilityOne) {
+  for (const auto& inst : two_query_instances(64)) {
+    for (qsim::Index t = 0; t < inst.n_items; ++t) {
+      ASSERT_NEAR(
+          two_query_block_probability(inst.n_items, inst.k_blocks, t), 1.0,
+          1e-12)
+          << "N=" << inst.n_items << " K=" << inst.k_blocks << " t=" << t;
+    }
+  }
+}
+
+TEST(TwoQuery, OtherShapesFallShortOfOne) {
+  EXPECT_LT(two_query_block_probability(16, 4, 3), 1.0 - 1e-6);
+  EXPECT_LT(two_query_block_probability(20, 5, 11), 1.0 - 1e-6);
+  EXPECT_LT(two_query_block_probability(12, 2, 5), 1.0 - 1e-6);
+}
+
+TEST(TwoQuery, StillBetterThanUniformGuessing) {
+  // Even off the exact manifold, two queries concentrate a lot of mass.
+  const double p = two_query_block_probability(16, 4, 3);
+  EXPECT_GT(p, 0.5);  // vs 0.25 for guessing
+}
+
+}  // namespace
+}  // namespace pqs::partial

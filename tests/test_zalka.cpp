@@ -1,0 +1,125 @@
+#include "zalka/zalka.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math.h"
+#include "grover/grover.h"
+#include "qsim/kernels.h"
+
+namespace pqs::zalka {
+namespace {
+
+TEST(StateAngle, BasicGeometry) {
+  const auto a = qsim::StateVector::basis(3, 0);
+  const auto b = qsim::StateVector::basis(3, 5);
+  const auto u = qsim::StateVector::uniform(3);
+  EXPECT_NEAR(state_angle(a, a), 0.0, 1e-9);
+  EXPECT_NEAR(state_angle(a, b), kHalfPi, 1e-12);
+  EXPECT_NEAR(state_angle(a, u), std::acos(1.0 / std::sqrt(8.0)), 1e-12);
+}
+
+TEST(StateAngle, InsensitiveToGlobalPhase) {
+  auto a = qsim::StateVector::uniform(4);
+  auto b = a;
+  qsim::kernels::scale(b.amplitudes(), qsim::Amplitude{-1.0, 0.0});
+  EXPECT_NEAR(state_angle(a, b), 0.0, 1e-9);
+}
+
+class ZalkaOnGrover : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ZalkaOnGrover, AllThreeLemmasHold) {
+  const unsigned n = GetParam();
+  const auto t = grover::optimal_iterations(pow2(n));
+  ZalkaOptions options;
+  options.lemma2_sample = 8;
+  const auto report = analyze_grover(n, t, options);
+
+  // Lemma 3: every per-query sum within the ceiling.
+  EXPECT_LE(report.max_per_query_sum, report.lemma3_ceiling + 1e-9)
+      << "n=" << n;
+  // Lemma 1: the final-angle sum above the floor.
+  EXPECT_GE(report.sum_final_angles, report.lemma1_floor - 1e-9) << "n=" << n;
+  // Lemma 2: hybrid steps within 2 arcsin sqrt(p).
+  EXPECT_TRUE(report.lemma2_holds) << "n=" << n
+                                   << " slack=" << report.lemma2_worst_slack;
+  // The chain: T >= sum / (2 sqrt(N)(1+1/N)).
+  EXPECT_GE(static_cast<double>(report.queries) + 1e-9,
+            report.implied_query_floor)
+      << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ZalkaOnGrover,
+                         ::testing::Values(4u, 5u, 6u, 7u, 8u));
+
+TEST(Zalka, GroverAtOptimumHasSmallEps) {
+  const auto report = analyze_grover(8, grover::optimal_iterations(256));
+  EXPECT_LT(report.eps, 0.02);
+  EXPECT_GT(report.min_success, 0.98);
+}
+
+TEST(Zalka, ImpliedFloorIsNearlyTightForGrover) {
+  // Grover IS optimal: the implied floor should recover a constant fraction
+  // of the actual count (the bound loses the (1 - O(N^-1/4)) factor).
+  const unsigned n = 8;
+  const auto t = grover::optimal_iterations(pow2(n));
+  const auto report = analyze_grover(n, t);
+  EXPECT_GT(report.implied_query_floor,
+            0.7 * static_cast<double>(report.queries));
+}
+
+TEST(Zalka, TooFewIterationsMeansLargeEps) {
+  // Half the optimal count cannot be near-perfect; Theorem 3's floor then
+  // degrades gracefully (sqrt(eps) term).
+  const auto report = analyze_grover(8, grover::optimal_iterations(256) / 2);
+  EXPECT_GT(report.eps, 0.2);
+}
+
+TEST(Zalka, PerQuerySumsAreSqrtNScale) {
+  const unsigned n = 6;
+  const auto report = analyze_grover(n, 5);
+  const double sqrt_n = std::sqrt(64.0);
+  for (const double s : report.per_query_sums) {
+    EXPECT_GT(s, 0.9 * sqrt_n);
+    EXPECT_LE(s, report.lemma3_ceiling + 1e-12);
+  }
+}
+
+TEST(Zalka, IdentityOracleRunStaysUniform) {
+  // For Grover specifically, the all-identity run fixes |psi0>, so
+  // p_{i,y} = 1/N for every i and S_i = N arcsin(1/sqrt(N)).
+  const unsigned n = 6;
+  const auto report = analyze_grover(n, 4);
+  const double expected = 64.0 * std::asin(1.0 / 8.0);
+  for (const double s : report.per_query_sums) {
+    EXPECT_NEAR(s, expected, 1e-9);
+  }
+}
+
+TEST(Zalka, Theorem3FloorClosedForm) {
+  const double floor_perfect = theorem3_floor(1 << 16, 0.0);
+  EXPECT_NEAR(floor_perfect, kQuarterPi * 256.0 * (1.0 - 1.0 / 16.0), 1e-9);
+  EXPECT_LT(theorem3_floor(1 << 16, 0.09), floor_perfect);
+}
+
+TEST(Zalka, AnalyzeRejectsQuerylessCircuit) {
+  qsim::Circuit c(4);
+  c.hadamard_all();
+  EXPECT_THROW(analyze_circuit(c), CheckFailure);
+}
+
+TEST(Zalka, WorksOnNonGroverCircuits) {
+  // A deliberately bad algorithm (oracle calls with no amplification) still
+  // satisfies the lemmas; its eps is huge.
+  qsim::Circuit c(5);
+  c.oracle().layer(qsim::gates::H()).oracle().layer(qsim::gates::H());
+  const auto report = analyze_circuit(c);
+  EXPECT_LE(report.max_per_query_sum, report.lemma3_ceiling + 1e-9);
+  EXPECT_GE(report.sum_final_angles, -1e-9);
+  EXPECT_GT(report.eps, 0.5);
+}
+
+}  // namespace
+}  // namespace pqs::zalka
