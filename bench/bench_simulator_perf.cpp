@@ -1,128 +1,243 @@
-// Experiment P1 (engineering ablation): throughput of the state-vector
-// kernels, including the fused-kernel vs gate-level-diffusion gap that
-// justifies the fused implementation (DESIGN.md, "Design choices").
-#include <benchmark/benchmark.h>
+// Experiment P1 (engineering ablation): throughput of the simulation
+// engines, machine-readable.
+//
+// Three sections:
+//   kernels     per-iteration cost of the dense O(N) kernels (the historical
+//               numbers that justified the fused diffusion implementation)
+//   backends    dense vs symmetry cost of one full GRK run at growing n —
+//               the O(N) -> O(K) gap the pluggable-backend refactor buys,
+//               including symmetry-only rows far beyond dense reach (n=48)
+//   multi_shot  serial (1 thread) vs batched (--batch threads) multi-shot
+//               throughput through Simulator/BatchRunner
+//
+// Results print as a table and are written to BENCH_qsim.json (--json PATH)
+// so CI and regression tooling can diff them.
+//
+//   ./build/bench/bench_simulator_perf --backend auto --batch 0 \
+//       --shots 20000 --json BENCH_qsim.json
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <vector>
 
+#include "common/cli.h"
 #include "common/math.h"
+#include "common/table.h"
+#include "common/timing.h"
 #include "oracle/database.h"
-#include "partial/analytic.h"
+#include "partial/grk.h"
 #include "partial/optimizer.h"
-#include "qsim/diffusion.h"
-#include "qsim/kernels.h"
-#include "qsim/state_vector.h"
+#include "qsim/backend.h"
+#include "qsim/batch.h"
+#include "qsim/simulator.h"
 
 namespace {
 
 using namespace pqs;
 
-void BM_SingleQubitGate(benchmark::State& state) {
-  const auto n = static_cast<unsigned>(state.range(0));
-  auto sv = qsim::StateVector::uniform(n);
-  const auto h = qsim::gates::H();
-  unsigned q = 0;
-  for (auto _ : state) {
-    sv.apply_gate1(q, h);
-    q = (q + 1) % n;
-    benchmark::DoNotOptimize(sv.amplitudes().data());
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(sv.dimension()));
-}
-BENCHMARK(BM_SingleQubitGate)->Arg(10)->Arg(14)->Arg(18)->Arg(20);
+struct BackendRow {
+  unsigned n = 0;
+  unsigned k = 0;
+  std::uint64_t iterations = 0;
+  double dense_seconds = -1.0;     ///< < 0: not run (beyond dense reach)
+  double symmetry_seconds = -1.0;
+  double speedup = -1.0;
+};
 
-void BM_GlobalDiffusionFused(benchmark::State& state) {
-  const auto n = static_cast<unsigned>(state.range(0));
-  auto sv = qsim::StateVector::uniform(n);
-  for (auto _ : state) {
-    sv.reflect_about_uniform();
-    benchmark::DoNotOptimize(sv.amplitudes().data());
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(sv.dimension()));
+/// One full GRK evolution (l1 global + l2 local + Step 3) on `kind`.
+double time_grk(unsigned n, unsigned k, std::uint64_t l1, std::uint64_t l2,
+                qsim::BackendKind kind) {
+  const oracle::Database db(pow2(n), pow2(n) / 3 + 1);
+  Stopwatch watch;
+  const auto backend =
+      partial::evolve_partial_search_on_backend(db, k, l1, l2, kind);
+  (void)backend->block_probability(backend->target_block());
+  return watch.seconds();
 }
-BENCHMARK(BM_GlobalDiffusionFused)->Arg(10)->Arg(14)->Arg(18)->Arg(20);
 
-void BM_GlobalDiffusionGateLevel(benchmark::State& state) {
-  const auto n = static_cast<unsigned>(state.range(0));
-  auto sv = qsim::StateVector::uniform(n);
-  for (auto _ : state) {
-    qsim::apply_global_diffusion_gate_level(sv);
-    benchmark::DoNotOptimize(sv.amplitudes().data());
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(sv.dimension()));
+std::string json_num(double v) {
+  std::ostringstream os;
+  os.precision(9);
+  os << v;
+  return os.str();
 }
-BENCHMARK(BM_GlobalDiffusionGateLevel)->Arg(10)->Arg(14)->Arg(18);
-
-void BM_BlockDiffusionFused(benchmark::State& state) {
-  const auto n = static_cast<unsigned>(state.range(0));
-  auto sv = qsim::StateVector::uniform(n);
-  for (auto _ : state) {
-    sv.reflect_blocks_about_uniform(2);
-    benchmark::DoNotOptimize(sv.amplitudes().data());
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(sv.dimension()));
-}
-BENCHMARK(BM_BlockDiffusionFused)->Arg(10)->Arg(14)->Arg(18)->Arg(20);
-
-void BM_GroverIteration(benchmark::State& state) {
-  const auto n = static_cast<unsigned>(state.range(0));
-  const oracle::Database db = oracle::Database::with_qubits(n, 1);
-  auto sv = qsim::StateVector::uniform(n);
-  for (auto _ : state) {
-    db.apply_phase_oracle(sv);
-    sv.reflect_about_uniform();
-    benchmark::DoNotOptimize(sv.amplitudes().data());
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(sv.dimension()));
-}
-BENCHMARK(BM_GroverIteration)->Arg(10)->Arg(14)->Arg(18)->Arg(20);
-
-void BM_NonTargetMeanReflection(benchmark::State& state) {
-  const auto n = static_cast<unsigned>(state.range(0));
-  auto sv = qsim::StateVector::uniform(n);
-  for (auto _ : state) {
-    sv.reflect_non_target_about_their_mean(3);
-    benchmark::DoNotOptimize(sv.amplitudes().data());
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(sv.dimension()));
-}
-BENCHMARK(BM_NonTargetMeanReflection)->Arg(10)->Arg(14)->Arg(18);
-
-void BM_InnerProduct(benchmark::State& state) {
-  const auto n = static_cast<unsigned>(state.range(0));
-  const auto a = qsim::StateVector::uniform(n);
-  const auto b = qsim::StateVector::uniform(n);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(a.inner(b));
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(a.dimension()));
-}
-BENCHMARK(BM_InnerProduct)->Arg(14)->Arg(18)->Arg(20);
-
-void BM_SubspaceModelGrkStep(benchmark::State& state) {
-  // The O(1) analytic model: the reason the finite-N optimizer is instant.
-  const partial::SubspaceModel model(std::uint64_t{1} << 40, 64);
-  auto s = model.uniform_start();
-  for (auto _ : state) {
-    s = model.apply_global(s);
-    benchmark::DoNotOptimize(s);
-  }
-}
-BENCHMARK(BM_SubspaceModelGrkStep);
-
-void BM_IntegerOptimizer(benchmark::State& state) {
-  const auto n = static_cast<unsigned>(state.range(0));
-  const std::uint64_t n_items = pow2(n);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(partial::optimize_integer(
-        n_items, 4, partial::default_min_success(n_items)));
-  }
-}
-BENCHMARK(BM_IntegerOptimizer)->Arg(12)->Arg(16)->Arg(20);
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const std::string backend_flag = cli.get_string(
+      "backend", "auto", "engine for the multi-shot section "
+      "(auto | dense | symmetry)");
+  const auto batch_threads = static_cast<unsigned>(cli.get_int(
+      "batch", 0, "threads for the batched run (0 = all hardware threads)"));
+  const auto shots = static_cast<std::uint64_t>(
+      cli.get_int("shots", 20000, "shots for the multi-shot section"));
+  const std::string json_path =
+      cli.get_string("json", "BENCH_qsim.json", "output JSON path");
+  const bool quick = cli.get_bool("quick", false, "smaller sizes only");
+  if (cli.help_requested()) {
+    std::cout << cli.help();
+    return 0;
+  }
+  cli.finish();
+  const qsim::BackendKind shot_backend =
+      qsim::parse_backend_kind(backend_flag);
+
+  std::cout << "P1 - simulation-engine throughput (JSON -> " << json_path
+            << ")\n\n";
+
+  // -- section 1: dense kernel baselines ------------------------------------
+  Table kernel_table({"n", "op", "seconds/op"});
+  std::ostringstream kernels_json;
+  kernels_json << "[";
+  bool first_kernel = true;
+  std::vector<unsigned> kernel_sizes{14u, 18u};
+  if (!quick) {
+    kernel_sizes.push_back(20u);
+  }
+  for (unsigned n : kernel_sizes) {
+    auto sv = qsim::StateVector::uniform(n);
+    const int reps = 20;
+    Stopwatch watch;
+    for (int r = 0; r < reps; ++r) {
+      sv.reflect_about_uniform();
+    }
+    const double diffusion = watch.seconds() / reps;
+    watch.reset();
+    for (int r = 0; r < reps; ++r) {
+      sv.reflect_blocks_about_uniform(2);
+    }
+    const double block = watch.seconds() / reps;
+    kernel_table.add_row({Table::num(std::uint64_t{n}), "global diffusion",
+                          Table::num(diffusion, 8)});
+    kernel_table.add_row({Table::num(std::uint64_t{n}), "block diffusion (K=4)",
+                          Table::num(block, 8)});
+    if (!first_kernel) {
+      kernels_json << ",";
+    }
+    first_kernel = false;
+    kernels_json << "{\"n\":" << n << ",\"global_diffusion_seconds\":"
+                 << json_num(diffusion)
+                 << ",\"block_diffusion_seconds\":" << json_num(block) << "}";
+  }
+  kernels_json << "]";
+  std::cout << kernel_table.render() << "\n";
+
+  // -- section 2: dense vs symmetry full GRK runs ---------------------------
+  std::vector<BackendRow> rows;
+  std::vector<unsigned> grk_sizes{16u};
+  if (!quick) {
+    grk_sizes.push_back(20u);
+  }
+  for (unsigned n : grk_sizes) {
+    const unsigned k = 2;
+    const auto opt = partial::optimize_integer(
+        pow2(n), pow2(k), partial::default_min_success(pow2(n)));
+    BackendRow row{n, k, opt.l1 + opt.l2 + 1, 0.0, 0.0, 0.0};
+    row.dense_seconds =
+        time_grk(n, k, opt.l1, opt.l2, qsim::BackendKind::kDense);
+    row.symmetry_seconds =
+        time_grk(n, k, opt.l1, opt.l2, qsim::BackendKind::kSymmetry);
+    row.speedup = row.dense_seconds / std::max(row.symmetry_seconds, 1e-12);
+    rows.push_back(row);
+  }
+  {
+    // Far beyond dense reach: the asymptotic schedule at n = 48.
+    const unsigned n = 48, k = 3;
+    const auto eps = partial::optimize_epsilon(pow2(k));
+    const double sqrt_n = std::sqrt(static_cast<double>(pow2(n)));
+    const double sqrt_block =
+        std::sqrt(static_cast<double>(pow2(n - k)));
+    const auto l1 = static_cast<std::uint64_t>(
+        std::llround(kQuarterPi * (1.0 - eps.epsilon) * sqrt_n));
+    const auto l2 = static_cast<std::uint64_t>(std::llround(
+        (eps.angles.theta1 + eps.angles.theta2) / 2.0 * sqrt_block));
+    BackendRow row{n, k, l1 + l2 + 1, -1.0, 0.0, -1.0};
+    row.symmetry_seconds = time_grk(n, k, l1, l2,
+                                    qsim::BackendKind::kSymmetry);
+    rows.push_back(row);
+  }
+
+  Table backend_table({"n", "k", "queries", "dense s", "symmetry s",
+                       "dense/symmetry"});
+  std::ostringstream backends_json;
+  backends_json << "[";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    backend_table.add_row(
+        {Table::num(std::uint64_t{row.n}), Table::num(std::uint64_t{row.k}),
+         Table::num(row.iterations),
+         row.dense_seconds < 0 ? "out of reach"
+                               : Table::num(row.dense_seconds, 6),
+         Table::num(row.symmetry_seconds, 6),
+         row.speedup < 0 ? "-" : Table::num(row.speedup, 1)});
+    if (i > 0) {
+      backends_json << ",";
+    }
+    backends_json << "{\"n\":" << row.n << ",\"k\":" << row.k
+                  << ",\"queries\":" << row.iterations
+                  << ",\"dense_seconds\":" << json_num(row.dense_seconds)
+                  << ",\"symmetry_seconds\":"
+                  << json_num(row.symmetry_seconds)
+                  << ",\"dense_over_symmetry\":" << json_num(row.speedup)
+                  << "}";
+  }
+  backends_json << "]";
+  std::cout << backend_table.render() << "\n";
+
+  // -- section 3: serial vs batched multi-shot ------------------------------
+  const unsigned shot_n = quick ? 12u : 16u;
+  const oracle::Database db = oracle::Database::with_qubits(shot_n, 99);
+  qsim::Circuit circuit(shot_n);
+  for (int i = 0; i < 10; ++i) {
+    circuit.grover_iteration();
+  }
+  for (int i = 0; i < 5; ++i) {
+    circuit.partial_iteration(2);
+  }
+  circuit.non_target_mean_reflection();
+
+  qsim::Simulator serial_sim(2005), batch_sim(2005);
+  serial_sim.set_backend(shot_backend);
+  batch_sim.set_backend(shot_backend);
+  serial_sim.set_batch({.threads = 1});
+  batch_sim.set_batch({.threads = batch_threads});
+
+  Stopwatch watch;
+  const auto serial_report =
+      serial_sim.run_block_shots(circuit, db.view(), 2, shots);
+  const double serial_seconds = watch.seconds();
+  watch.reset();
+  const auto batch_report =
+      batch_sim.run_block_shots(circuit, db.view(), 2, shots);
+  const double batch_seconds = watch.seconds();
+  const qsim::BatchRunner probe({.threads = batch_threads});
+  const double shot_speedup = serial_seconds / std::max(batch_seconds, 1e-12);
+
+  std::cout << "multi-shot (" << to_string(shot_backend) << " engine, n="
+            << shot_n << ", shots=" << shots << "): serial "
+            << Table::num(serial_seconds, 4) << " s vs batched ("
+            << probe.threads() << " threads) "
+            << Table::num(batch_seconds, 4) << " s -> speedup "
+            << Table::num(shot_speedup, 2) << "x\n";
+  std::cout << "mode agreement: serial block " << serial_report.mode
+            << " vs batched block " << batch_report.mode << "\n";
+
+  // -- JSON ----------------------------------------------------------------
+  std::ofstream json(json_path);
+  json << "{\n  \"bench\": \"qsim\",\n"
+       << "  \"kernels\": " << kernels_json.str() << ",\n"
+       << "  \"grk_backends\": " << backends_json.str() << ",\n"
+       << "  \"multi_shot\": {\"backend\": \"" << to_string(shot_backend)
+       << "\", \"n\": " << shot_n << ", \"shots\": " << shots
+       << ", \"queries_per_shot\": " << circuit.query_count()
+       << ", \"serial_seconds\": " << json_num(serial_seconds)
+       << ", \"batch_seconds\": " << json_num(batch_seconds)
+       << ", \"batch_threads\": " << probe.threads()
+       << ", \"speedup\": " << json_num(shot_speedup) << "}\n}\n";
+  json.close();
+  std::cout << "\nwrote " << json_path << "\n";
+  return 0;
+}

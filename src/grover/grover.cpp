@@ -9,32 +9,47 @@ qsim::StateVector evolve(const oracle::Database& db,
                          std::uint64_t iterations) {
   PQS_CHECK_MSG(is_pow2(db.size()),
                 "state-vector evolution needs a power-of-two database");
-  const unsigned n = log2_exact(db.size());
-  auto state = qsim::StateVector::uniform(n);
+  const auto backend =
+      evolve_on_backend(db, iterations, qsim::BackendKind::kDense);
+  return qsim::StateVector::from_amplitudes(backend->amplitudes_copy());
+}
+
+std::unique_ptr<qsim::Backend> evolve_on_backend(const oracle::Database& db,
+                                                 std::uint64_t iterations,
+                                                 qsim::BackendKind kind) {
+  // Full search is the K = 1 case of the block structure.
+  auto backend = qsim::make_backend(
+      kind, qsim::BackendSpec::single_target(db.size(), 1, db.target()));
   for (std::uint64_t i = 0; i < iterations; ++i) {
-    db.apply_phase_oracle(state);   // It  (1 query)
-    state.reflect_about_uniform();  // I0  (no queries)
+    db.add_queries(1);
+    backend->apply_oracle();            // It
+    backend->apply_global_diffusion();  // I0
   }
-  return state;
+  return backend;
 }
 
 double success_probability_after(const oracle::Database& db,
-                                 std::uint64_t iterations) {
-  const auto state = evolve(db, iterations);
-  return state.probability(db.target());
+                                 std::uint64_t iterations,
+                                 const SearchOptions& options) {
+  const auto backend = evolve_on_backend(db, iterations, options.backend);
+  return backend->marked_probability();
 }
 
-SearchResult search(const oracle::Database& db, Rng& rng) {
-  return search_with_iterations(db, optimal_iterations(db.size()), rng);
+SearchResult search(const oracle::Database& db, Rng& rng,
+                    const SearchOptions& options) {
+  return search_with_iterations(db, optimal_iterations(db.size()), rng,
+                                options);
 }
 
 SearchResult search_with_iterations(const oracle::Database& db,
-                                    std::uint64_t iterations, Rng& rng) {
+                                    std::uint64_t iterations, Rng& rng,
+                                    const SearchOptions& options) {
   const std::uint64_t before = db.queries();
-  const auto state = evolve(db, iterations);
+  const auto backend = evolve_on_backend(db, iterations, options.backend);
   SearchResult result;
-  result.success_probability = state.probability(db.target());
-  result.measured = state.sample(rng);
+  result.backend_used = backend->kind();
+  result.success_probability = backend->marked_probability();
+  result.measured = backend->sample(rng);
   result.correct = result.measured == db.target();
   result.queries = db.queries() - before;
   return result;

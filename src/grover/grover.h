@@ -5,12 +5,23 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "common/random.h"
 #include "oracle/database.h"
+#include "qsim/backend.h"
 #include "qsim/state_vector.h"
 
 namespace pqs::grover {
+
+/// Engine selection for the search pipelines. kAuto keeps the historical
+/// dense path whenever the state fits in memory and switches to the O(1)
+/// symmetry engine beyond (n > 30 qubits — Grover's state is the K = 1
+/// special case of the block symmetry: one amplitude on the target, one on
+/// everything else).
+struct SearchOptions {
+  qsim::BackendKind backend = qsim::BackendKind::kAuto;
+};
 
 /// Outcome of a full search run.
 struct SearchResult {
@@ -18,24 +29,36 @@ struct SearchResult {
   bool correct = false;       ///< measured == target (ground truth)
   std::uint64_t queries = 0;  ///< oracle queries consumed
   double success_probability = 0.0;  ///< |<t|state before measurement>|^2
+  qsim::BackendKind backend_used = qsim::BackendKind::kDense;
 };
 
 /// Prepare |psi0> and apply `iterations` Grover iterations A = I0 . It.
 /// Returns the pre-measurement state; `db.queries()` advances by
-/// `iterations`.
+/// `iterations`. (Dense by definition; see evolve_on_backend for the
+/// engine-agnostic form.)
 qsim::StateVector evolve(const oracle::Database& db, std::uint64_t iterations);
 
-/// Success probability after m iterations, from the state vector (equals the
+/// Engine-agnostic evolution: the returned backend holds the
+/// pre-measurement state. Works for any db.size() (not only powers of two)
+/// and, with the symmetry engine, for sizes far beyond dense reach.
+std::unique_ptr<qsim::Backend> evolve_on_backend(const oracle::Database& db,
+                                                 std::uint64_t iterations,
+                                                 qsim::BackendKind kind);
+
+/// Success probability after m iterations, from the simulation (equals the
 /// closed form sin^2((2m+1) theta); tested against it).
 double success_probability_after(const oracle::Database& db,
-                                 std::uint64_t iterations);
+                                 std::uint64_t iterations,
+                                 const SearchOptions& options = {});
 
 /// Full pipeline with the optimal iteration count: evolve, measure, report.
-SearchResult search(const oracle::Database& db, Rng& rng);
+SearchResult search(const oracle::Database& db, Rng& rng,
+                    const SearchOptions& options = {});
 
 /// Full pipeline with an explicit iteration count.
 SearchResult search_with_iterations(const oracle::Database& db,
-                                    std::uint64_t iterations, Rng& rng);
+                                    std::uint64_t iterations, Rng& rng,
+                                    const SearchOptions& options = {});
 
 /// The paper's headline number: (pi/4) sqrt(N) rounded to the optimal
 /// integer iteration count for a unique target among `n_items`.

@@ -49,6 +49,7 @@ qsim::OracleView Database::view() const {
   return qsim::OracleView{
       .marked = [t = target_](Index x) { return x == t; },
       .target = target_,
+      .marked_list = {target_},
   };
 }
 

@@ -39,6 +39,7 @@ qsim::OracleView MarkedDatabase::view() const {
   return qsim::OracleView{
       .marked = [this](Index x) { return peek(x); },
       .target = marked_.empty() ? 0 : marked_.front(),
+      .marked_list = marked_,
   };
 }
 

@@ -118,8 +118,9 @@ CertaintySchedule certainty_schedule(std::uint64_t n_items,
 }
 
 CertainResult run_partial_search_certain(const oracle::Database& db,
-                                         unsigned k, Rng& rng) {
-  PQS_CHECK_MSG(is_pow2(db.size()), "state-vector run needs N = 2^n");
+                                         unsigned k, Rng& rng,
+                                         qsim::BackendKind backend_kind) {
+  PQS_CHECK_MSG(is_pow2(db.size()), "partial search needs N = 2^n");
   const unsigned n = log2_exact(db.size());
   PQS_CHECK_MSG(k >= 1 && k < n, "need 1 <= k < n");
 
@@ -127,25 +128,31 @@ CertainResult run_partial_search_certain(const oracle::Database& db,
   result.schedule = certainty_schedule(db.size(), pow2(k));
   const auto& sched = result.schedule;
 
-  auto state = qsim::StateVector::uniform(n);
+  auto backend = qsim::make_backend(
+      backend_kind,
+      qsim::BackendSpec::single_target(db.size(), pow2(k), db.target()));
+  result.backend_used = backend->kind();
   for (std::uint64_t i = 0; i < sched.l1; ++i) {
-    db.apply_phase_oracle(state);
-    state.reflect_about_uniform();
+    db.add_queries(1);
+    backend->apply_oracle();
+    backend->apply_global_diffusion();
   }
   for (std::uint64_t i = 0; i < sched.l2_plain; ++i) {
-    db.apply_phase_oracle(state);
-    state.reflect_blocks_about_uniform(k);
+    db.add_queries(1);
+    backend->apply_oracle();
+    backend->apply_block_diffusion();
   }
   if (sched.generalized_needed) {
-    db.apply_phase_oracle(state, sched.phases.oracle_phase);
-    state.rotate_blocks_about_uniform(k, sched.phases.diffusion_phase);
+    db.add_queries(1);
+    backend->apply_oracle_phase(sched.phases.oracle_phase);
+    backend->apply_block_rotation(sched.phases.diffusion_phase);
   }
   db.add_queries(1);
-  state.reflect_non_target_about_their_mean(db.target());
+  backend->apply_step3();
 
-  const qsim::Index target_block = db.target() >> (n - k);
-  result.block_probability = state.block_probability(k, target_block);
-  result.measured_block = state.sample_block(k, rng);
+  const qsim::Index target_block = backend->target_block();
+  result.block_probability = backend->block_probability(target_block);
+  result.measured_block = backend->sample_block(rng);
   result.correct = result.measured_block == target_block;
   return result;
 }

@@ -22,6 +22,7 @@
 #include "oracle/database.h"
 #include "partial/analytic.h"
 #include "partial/phase_match.h"
+#include "qsim/backend.h"
 
 namespace pqs::partial {
 
@@ -44,17 +45,21 @@ CertaintySchedule certainty_schedule(std::uint64_t n_items,
                                      std::uint64_t k_blocks,
                                      std::optional<std::uint64_t> l1 = {});
 
-/// Result of a sure-success state-vector run.
+/// Result of a sure-success simulation run.
 struct CertainResult {
   CertaintySchedule schedule;
-  double block_probability = 0.0;  ///< measured on the state vector; ~1
+  double block_probability = 0.0;  ///< measured on the engine's state; ~1
   qsim::Index measured_block = 0;
   bool correct = false;  ///< always true (probability-1 measurement)
+  qsim::BackendKind backend_used = qsim::BackendKind::kDense;
 };
 
-/// Run on the simulator: db.size() = 2^n, K = 2^k blocks.
-CertainResult run_partial_search_certain(const oracle::Database& db,
-                                         unsigned k, Rng& rng);
+/// Run on the simulator: db.size() = 2^n, K = 2^k blocks. The generalized
+/// iteration only needs the oracle-phase and block-rotation operators, so
+/// both engines apply; kAuto picks dense up to 2^30 items, symmetry beyond.
+CertainResult run_partial_search_certain(
+    const oracle::Database& db, unsigned k, Rng& rng,
+    qsim::BackendKind backend = qsim::BackendKind::kAuto);
 
 /// lambda(N, K): the Step-3 exact-cancellation ratio a_b / a_o.
 double cancellation_ratio(std::uint64_t n_items, std::uint64_t k_blocks);

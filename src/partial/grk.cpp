@@ -10,41 +10,50 @@ namespace pqs::partial {
 
 namespace {
 
-void copy_amplitudes(const qsim::StateVector& state,
-                     std::vector<qsim::Amplitude>& out) {
-  const auto amps = state.amplitudes();
-  out.assign(amps.begin(), amps.end());
+/// The GRK spec: 2^n items, 2^k contiguous blocks, a unique target.
+qsim::BackendSpec grk_spec(const oracle::Database& db, unsigned k) {
+  PQS_CHECK_MSG(is_pow2(db.size()), "partial search needs N = 2^n");
+  const unsigned n = log2_exact(db.size());
+  PQS_CHECK_MSG(k >= 1 && k < n, "need 1 <= k < n");
+  return qsim::BackendSpec::single_target(db.size(), pow2(k), db.target());
 }
 
 }  // namespace
 
-qsim::StateVector evolve_partial_search(const oracle::Database& db, unsigned k,
-                                        std::uint64_t l1, std::uint64_t l2) {
-  PQS_CHECK_MSG(is_pow2(db.size()), "state-vector run needs N = 2^n");
-  const unsigned n = log2_exact(db.size());
-  PQS_CHECK_MSG(k >= 1 && k < n, "need 1 <= k < n");
-
-  auto state = qsim::StateVector::uniform(n);
+std::unique_ptr<qsim::Backend> evolve_partial_search_on_backend(
+    const oracle::Database& db, unsigned k, std::uint64_t l1,
+    std::uint64_t l2, qsim::BackendKind kind) {
+  auto backend = qsim::make_backend(kind, grk_spec(db, k));
   for (std::uint64_t i = 0; i < l1; ++i) {
-    db.apply_phase_oracle(state);   // It
-    state.reflect_about_uniform();  // I0
+    db.add_queries(1);
+    backend->apply_oracle();            // It
+    backend->apply_global_diffusion();  // I0
   }
   for (std::uint64_t i = 0; i < l2; ++i) {
-    db.apply_phase_oracle(state);          // It
-    state.reflect_blocks_about_uniform(k);  // I_[K] (x) I0,[N/K]
+    db.add_queries(1);
+    backend->apply_oracle();           // It
+    backend->apply_block_diffusion();  // I_[K] (x) I0,[N/K]
   }
   // Step 3: one oracle query marks the target out; inversion about the mean
   // of the remaining amplitudes.
   db.add_queries(1);
-  state.reflect_non_target_about_their_mean(db.target());
-  return state;
+  backend->apply_step3();
+  return backend;
+}
+
+qsim::StateVector evolve_partial_search(const oracle::Database& db, unsigned k,
+                                        std::uint64_t l1, std::uint64_t l2) {
+  const auto backend = evolve_partial_search_on_backend(
+      db, k, l1, l2, qsim::BackendKind::kDense);
+  return qsim::StateVector::from_amplitudes(backend->amplitudes_copy());
 }
 
 GrkResult run_partial_search(const oracle::Database& db, unsigned k, Rng& rng,
                              const GrkOptions& options) {
-  PQS_CHECK_MSG(is_pow2(db.size()), "state-vector run needs N = 2^n");
-  const unsigned n = log2_exact(db.size());
-  PQS_CHECK_MSG(k >= 1 && k < n, "need 1 <= k < n");
+  const auto spec = grk_spec(db, k);
+  if (options.capture_snapshots) {
+    qsim::require_dense(options.backend, "snapshot capture");
+  }
 
   GrkResult result;
   if (options.l1.has_value() && options.l2.has_value()) {
@@ -60,35 +69,37 @@ GrkResult run_partial_search(const oracle::Database& db, unsigned k, Rng& rng,
   }
 
   const std::uint64_t before = db.queries();
-  auto state = qsim::StateVector::uniform(n);
+  auto backend = qsim::make_backend(options.backend, spec);
+  result.backend_used = backend->kind();
   for (std::uint64_t i = 0; i < result.l1; ++i) {
-    db.apply_phase_oracle(state);
-    state.reflect_about_uniform();
+    db.add_queries(1);
+    backend->apply_oracle();
+    backend->apply_global_diffusion();
   }
   if (options.capture_snapshots) {
-    copy_amplitudes(state, result.snapshots.after_step1);
+    result.snapshots.after_step1 = backend->amplitudes_copy();
   }
   for (std::uint64_t i = 0; i < result.l2; ++i) {
-    db.apply_phase_oracle(state);
-    state.reflect_blocks_about_uniform(k);
+    db.add_queries(1);
+    backend->apply_oracle();
+    backend->apply_block_diffusion();
   }
   if (options.capture_snapshots) {
-    copy_amplitudes(state, result.snapshots.after_step2);
+    result.snapshots.after_step2 = backend->amplitudes_copy();
   }
   db.add_queries(1);
-  state.reflect_non_target_about_their_mean(db.target());
+  backend->apply_step3();
   if (options.capture_snapshots) {
-    copy_amplitudes(state, result.snapshots.after_step3);
+    result.snapshots.after_step3 = backend->amplitudes_copy();
   }
 
   result.queries = db.queries() - before;
   PQS_CHECK(result.queries == result.l1 + result.l2 + 1);
 
-  const qsim::Index target_block = db.target() >> (n - k);
-  result.block_probability = state.block_probability(k, target_block);
-  result.state_probability = state.probability(db.target());
-  result.measured_block = state.sample_block(k, rng);
-  result.correct = result.measured_block == target_block;
+  result.block_probability = backend->block_probability(backend->target_block());
+  result.state_probability = backend->marked_probability();
+  result.measured_block = backend->sample_block(rng);
+  result.correct = result.measured_block == backend->target_block();
   return result;
 }
 

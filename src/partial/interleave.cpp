@@ -47,6 +47,31 @@ SubspaceState run_schedule(const SubspaceModel& model,
   return model.apply_step3(s);
 }
 
+double run_schedule_on_backend(const oracle::Database& db, unsigned k,
+                               const Schedule& schedule,
+                               qsim::BackendKind backend_kind) {
+  PQS_CHECK_MSG(is_pow2(db.size()), "backend schedules need N = 2^n");
+  const unsigned n = log2_exact(db.size());
+  PQS_CHECK_MSG(k >= 1 && k < n, "need 1 <= k < n");
+  auto backend = qsim::make_backend(
+      backend_kind,
+      qsim::BackendSpec::single_target(db.size(), pow2(k), db.target()));
+  for (const auto& seg : schedule.segments) {
+    for (std::uint64_t i = 0; i < seg.count; ++i) {
+      db.add_queries(1);
+      backend->apply_oracle();
+      if (seg.global) {
+        backend->apply_global_diffusion();
+      } else {
+        backend->apply_block_diffusion();
+      }
+    }
+  }
+  db.add_queries(1);  // Step 3
+  backend->apply_step3();
+  return backend->block_probability(backend->target_block());
+}
+
 namespace {
 
 struct SearchContext {

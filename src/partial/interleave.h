@@ -15,7 +15,9 @@
 #include <string>
 #include <vector>
 
+#include "oracle/database.h"
 #include "partial/analytic.h"
+#include "qsim/backend.h"
 
 namespace pqs::partial {
 
@@ -38,6 +40,14 @@ struct Schedule {
 /// Evolve the model through a schedule and Step 3; returns the final state.
 SubspaceState run_schedule(const SubspaceModel& model,
                            const Schedule& schedule);
+
+/// Evolve the same schedule (plus Step 3) on a simulation backend bound to
+/// `db`, metering queries on the database. Returns the final target-block
+/// probability — the quantity the optimizer scores — so optimized schedules
+/// can be validated or executed on either engine at any size.
+double run_schedule_on_backend(const oracle::Database& db, unsigned k,
+                               const Schedule& schedule,
+                               qsim::BackendKind backend);
 
 struct InterleaveOptimum {
   Schedule schedule;

@@ -5,8 +5,6 @@
 #include "common/check.h"
 #include "common/math.h"
 #include "partial/optimizer.h"
-#include "qsim/kernels.h"
-#include "qsim/state_vector.h"
 
 namespace pqs::partial {
 
@@ -28,7 +26,6 @@ MultiGrkResult run_partial_search_multi(const oracle::MarkedDatabase& db,
                                         unsigned k, Rng& rng,
                                         const MultiGrkOptions& options) {
   const qsim::Index target_block = common_block(db, k);
-  const unsigned n = log2_exact(db.size());
 
   MultiGrkResult result;
   if (options.l1.has_value() && options.l2.has_value()) {
@@ -45,25 +42,27 @@ MultiGrkResult run_partial_search_multi(const oracle::MarkedDatabase& db,
   }
 
   const std::uint64_t before = db.queries();
-  auto state = qsim::StateVector::uniform(n);
+  auto backend = qsim::make_backend(
+      options.backend,
+      qsim::BackendSpec{db.size(), pow2(k), db.marked()});
+  result.backend_used = backend->kind();
   for (std::uint64_t i = 0; i < result.l1; ++i) {
-    db.apply_phase_oracle(state);   // flips the whole marked set, 1 query
-    state.reflect_about_uniform();
+    db.add_queries(1);  // one query flips the whole marked set
+    backend->apply_oracle();
+    backend->apply_global_diffusion();
   }
   for (std::uint64_t i = 0; i < result.l2; ++i) {
-    db.apply_phase_oracle(state);
-    state.reflect_blocks_about_uniform(k);
+    db.add_queries(1);
+    backend->apply_oracle();
+    backend->apply_block_diffusion();
   }
   db.add_queries(1);  // Step 3 marks the set out with one query
-  qsim::kernels::reflect_unmarked_about_their_mean(state.amplitudes(),
-                                                   db.marked());
+  backend->apply_step3();
   result.queries = db.queries() - before;
 
-  result.block_probability = state.block_probability(k, target_block);
-  for (const auto m : db.marked()) {
-    result.marked_probability += state.probability(m);
-  }
-  result.measured_block = state.sample_block(k, rng);
+  result.block_probability = backend->block_probability(target_block);
+  result.marked_probability = backend->marked_probability();
+  result.measured_block = backend->sample_block(rng);
   result.correct = result.measured_block == target_block;
   return result;
 }

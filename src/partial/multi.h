@@ -18,6 +18,7 @@
 #include "common/random.h"
 #include "oracle/marked_set.h"
 #include "partial/analytic.h"
+#include "qsim/backend.h"
 
 namespace pqs::partial {
 
@@ -29,6 +30,7 @@ struct MultiGrkResult {
   double marked_probability = 0.0;  ///< mass on the marked set itself
   qsim::Index measured_block = 0;
   bool correct = false;
+  qsim::BackendKind backend_used = qsim::BackendKind::kDense;
 };
 
 struct MultiGrkOptions {
@@ -36,6 +38,10 @@ struct MultiGrkOptions {
   std::optional<std::uint64_t> l2;
   /// <= 0 means the default 1 - 4/sqrt(N).
   double min_success = 0.0;
+  /// Simulation engine. The clustered marked set keeps the state
+  /// block-symmetric (three amplitude classes with |class t| = M), so the
+  /// symmetry engine applies verbatim; kAuto picks dense up to 2^30 items.
+  qsim::BackendKind backend = qsim::BackendKind::kAuto;
 };
 
 /// Run partial search for the first k bits of a multi-marked database.

@@ -13,6 +13,8 @@
 #include "common/timing.h"
 
 // The quantum simulator substrate.
+#include "qsim/backend.h"
+#include "qsim/batch.h"
 #include "qsim/circuit.h"
 #include "qsim/diffusion.h"
 #include "qsim/gates.h"

@@ -1,0 +1,579 @@
+#include "qsim/backend.h"
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+
+#include "common/check.h"
+#include "common/math.h"
+#include "qsim/kernels.h"
+
+namespace pqs::qsim {
+
+BackendKind parse_backend_kind(std::string_view name) {
+  if (name == "auto") {
+    return BackendKind::kAuto;
+  }
+  if (name == "dense") {
+    return BackendKind::kDense;
+  }
+  if (name == "symmetry") {
+    return BackendKind::kSymmetry;
+  }
+  throw CheckFailure("unknown backend '" + std::string(name) +
+                     "' (expected auto, dense, or symmetry)");
+}
+
+std::string to_string(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kAuto:
+      return "auto";
+    case BackendKind::kDense:
+      return "dense";
+    case BackendKind::kSymmetry:
+      return "symmetry";
+  }
+  return "unknown";
+}
+
+BackendSpec BackendSpec::single_target(std::uint64_t n_items,
+                                       std::uint64_t n_blocks, Index target) {
+  return BackendSpec{n_items, n_blocks, {target}};
+}
+
+Backend::Backend(BackendSpec spec) : spec_(std::move(spec)) {
+  PQS_CHECK_MSG(spec_.n_items >= 2, "need at least two database items");
+  PQS_CHECK_MSG(spec_.n_blocks >= 1, "need at least one block");
+  PQS_CHECK_MSG(spec_.n_items % spec_.n_blocks == 0,
+                "block count must divide the database size");
+  PQS_CHECK_MSG(!spec_.marked.empty(), "marked set must be non-empty");
+  for (std::size_t j = 0; j < spec_.marked.size(); ++j) {
+    PQS_CHECK_MSG(spec_.marked[j] < spec_.n_items,
+                  "marked address out of range");
+    PQS_CHECK_MSG(j == 0 || spec_.marked[j - 1] < spec_.marked[j],
+                  "marked set must be sorted and unique");
+  }
+}
+
+void Backend::apply_gate1(unsigned, const Gate2&) {
+  PQS_CHECK_MSG(false, "single-qubit gates need the dense backend");
+}
+void Backend::apply_controlled_gate1(std::uint64_t, unsigned, const Gate2&) {
+  PQS_CHECK_MSG(false, "controlled gates need the dense backend");
+}
+void Backend::apply_phase_flip_known(Index) {
+  PQS_CHECK_MSG(false, "single-state phase flips need the dense backend");
+}
+void Backend::apply_mcz(std::uint64_t) {
+  PQS_CHECK_MSG(false, "multi-controlled Z needs the dense backend");
+}
+
+bool symmetry_supports(const BackendSpec& spec) {
+  if (spec.marked.empty() || spec.n_blocks < 1 || spec.n_items < 2 ||
+      spec.n_items % spec.n_blocks != 0) {
+    return false;
+  }
+  const std::uint64_t block_size = spec.n_items / spec.n_blocks;
+  const Index block = spec.marked.front() / block_size;
+  for (const Index m : spec.marked) {
+    if (m / block_size != block) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// DenseBackend
+// ---------------------------------------------------------------------------
+
+/// The exact engine: a flat amplitude array driven by qsim/kernels. This is
+/// byte-for-byte the arithmetic the pre-backend code paths performed through
+/// StateVector, so seeded runs reproduce historical results exactly.
+class DenseBackend final : public Backend {
+ public:
+  explicit DenseBackend(BackendSpec spec) : Backend(std::move(spec)) {
+    PQS_CHECK_MSG(spec_.n_items <= kMaxDenseItems,
+                  "database too large for the dense backend; use the "
+                  "symmetry backend");
+    amps_.resize(spec_.n_items);
+    reset_uniform();
+  }
+
+  BackendKind kind() const override { return BackendKind::kDense; }
+
+  void reset_uniform() override {
+    const double amp =
+        1.0 / std::sqrt(static_cast<double>(spec_.n_items));
+    std::fill(amps_.begin(), amps_.end(), Amplitude{amp, 0.0});
+  }
+
+  void apply_oracle() override {
+    kernels::phase_flip_indices(amps_, spec_.marked);
+  }
+  void apply_oracle_phase(double phi) override {
+    kernels::phase_rotate_indices(amps_, spec_.marked, phi);
+  }
+  void apply_global_diffusion() override {
+    kernels::reflect_about_uniform(amps_);
+  }
+  void apply_global_rotation(double phi) override {
+    kernels::rotate_blocks_about_uniform(amps_, amps_.size(), phi);
+  }
+  void apply_block_diffusion() override {
+    kernels::reflect_blocks_about_uniform(amps_, block_size());
+  }
+  void apply_block_rotation(double phi) override {
+    kernels::rotate_blocks_about_uniform(amps_, block_size(), phi);
+  }
+  void apply_step3() override {
+    if (spec_.marked.size() == 1) {
+      kernels::reflect_non_target_about_their_mean(amps_,
+                                                   spec_.marked.front());
+    } else {
+      kernels::reflect_unmarked_about_their_mean(amps_, spec_.marked);
+    }
+  }
+  void apply_global_phase(Amplitude phase) override {
+    kernels::scale(amps_, phase);
+  }
+
+  void apply_gate1(unsigned q, const Gate2& g) override {
+    kernels::apply_gate1(amps_, qubits(), q, g);
+  }
+  void apply_controlled_gate1(std::uint64_t control_mask, unsigned q,
+                              const Gate2& g) override {
+    kernels::apply_controlled_gate1(amps_, qubits(), control_mask, q, g);
+  }
+  void apply_phase_flip_known(Index x) override {
+    kernels::phase_flip_index(amps_, x);
+  }
+  void apply_mcz(std::uint64_t mask) override {
+    kernels::phase_flip_mask_all_ones(amps_, mask);
+  }
+
+  double probability(Index x) const override {
+    PQS_CHECK_MSG(x < amps_.size(), "index out of range");
+    return std::norm(amps_[x]);
+  }
+  double marked_probability() const override {
+    double p = 0.0;
+    for (const Index m : spec_.marked) {
+      p += std::norm(amps_[m]);
+    }
+    return p;
+  }
+  double block_probability(Index block) const override {
+    PQS_CHECK_MSG(block < num_blocks(), "block index out of range");
+    const std::size_t lo = static_cast<std::size_t>(block) * block_size();
+    return kernels::norm_squared_pairwise(
+        std::span<const Amplitude>(amps_).subspan(lo, block_size()));
+  }
+  std::vector<double> block_distribution() const override {
+    std::vector<double> dist(num_blocks());
+    for (std::size_t b = 0; b < dist.size(); ++b) {
+      dist[b] = block_probability(static_cast<Index>(b));
+    }
+    return dist;
+  }
+  double norm_squared() const override {
+    return kernels::norm_squared_pairwise(amps_);
+  }
+
+  Index sample(Rng& rng) const override {
+    // The same CDF walk as StateVector::sample, for seeded reproducibility.
+    double u = rng.uniform01() * norm_squared();
+    for (std::size_t i = 0; i < amps_.size(); ++i) {
+      u -= std::norm(amps_[i]);
+      if (u <= 0.0) {
+        return static_cast<Index>(i);
+      }
+    }
+    return static_cast<Index>(amps_.size() - 1);
+  }
+  Index sample_block(Rng& rng) const override {
+    return block_of(sample(rng));
+  }
+
+  std::vector<Amplitude> amplitudes_copy() const override { return amps_; }
+
+  std::span<const Amplitude> amplitudes() const { return amps_; }
+
+ private:
+  unsigned qubits() const {
+    PQS_CHECK_MSG(is_pow2(spec_.n_items),
+                  "gate-level ops need a power-of-two database");
+    return log2_exact(spec_.n_items);
+  }
+
+  std::vector<Amplitude> amps_;
+};
+
+// ---------------------------------------------------------------------------
+// SymmetryBackend
+// ---------------------------------------------------------------------------
+
+/// The O(K) engine. Tracks the three per-state amplitudes the block-symmetric
+/// evolution can produce:
+///   a_t  on each of the m marked states,
+///   a_b  on each of the block_size - m unmarked states of the target block,
+///   a_o  on each state of the other K - 1 blocks.
+/// Each operator updates the triple with the same arithmetic the dense
+/// kernels perform on the repeated values, so observables agree with
+/// DenseBackend to machine precision (cross-checked in tests/test_backend).
+class SymmetryBackend final : public Backend {
+ public:
+  explicit SymmetryBackend(BackendSpec spec) : Backend(std::move(spec)) {
+    PQS_CHECK_MSG(symmetry_supports(spec_),
+                  "symmetry backend needs the marked set inside one block");
+    m_ = spec_.marked.size();
+    rest_ = block_size() - m_;
+    others_ = spec_.n_items - block_size();
+    marked_offsets_.reserve(m_);
+    const Index lo = target_block() * block_size();
+    for (const Index m : spec_.marked) {
+      marked_offsets_.push_back(m - lo);
+    }
+    reset_uniform();
+  }
+
+  BackendKind kind() const override { return BackendKind::kSymmetry; }
+
+  void reset_uniform() override {
+    const Amplitude amp{1.0 / std::sqrt(static_cast<double>(spec_.n_items)),
+                        0.0};
+    a_t_ = a_b_ = a_o_ = amp;
+  }
+
+  void apply_oracle() override { a_t_ = -a_t_; }
+  void apply_oracle_phase(double phi) override {
+    a_t_ *= std::polar(1.0, phi);
+  }
+
+  void apply_global_diffusion() override {
+    const Amplitude twice_mean = 2.0 * global_mean();
+    a_t_ = twice_mean - a_t_;
+    a_b_ = twice_mean - a_b_;
+    a_o_ = twice_mean - a_o_;
+  }
+  void apply_global_rotation(double phi) override {
+    const Amplitude add = (std::polar(1.0, phi) - 1.0) * global_mean();
+    a_t_ += add;
+    a_b_ += add;
+    a_o_ += add;
+  }
+
+  void apply_block_diffusion() override {
+    // Target block: inversion about its own mean. Every other block holds a
+    // single repeated value, and inversion about the average fixes it.
+    const Amplitude twice_mean = 2.0 * target_block_mean();
+    a_t_ = twice_mean - a_t_;
+    a_b_ = twice_mean - a_b_;
+  }
+  void apply_block_rotation(double phi) override {
+    const Amplitude factor = std::polar(1.0, phi) - 1.0;
+    const Amplitude add = factor * target_block_mean();
+    a_t_ += add;
+    a_b_ += add;
+    // A uniform block's mean is its value: a <- a + (e^{i phi} - 1) a.
+    a_o_ += factor * a_o_;
+  }
+
+  void apply_step3() override {
+    PQS_CHECK_MSG(rest_ + others_ >= 2, "need at least two unmarked states");
+    const Amplitude mean =
+        (static_cast<double>(rest_) * a_b_ +
+         static_cast<double>(others_) * a_o_) /
+        static_cast<double>(rest_ + others_);
+    const Amplitude twice_mean = 2.0 * mean;
+    a_b_ = twice_mean - a_b_;
+    a_o_ = twice_mean - a_o_;
+  }
+
+  void apply_global_phase(Amplitude phase) override {
+    a_t_ *= phase;
+    a_b_ *= phase;
+    a_o_ *= phase;
+  }
+
+  double probability(Index x) const override {
+    PQS_CHECK_MSG(x < spec_.n_items, "index out of range");
+    if (block_of(x) != target_block()) {
+      return std::norm(a_o_);
+    }
+    return std::binary_search(spec_.marked.begin(), spec_.marked.end(), x)
+               ? std::norm(a_t_)
+               : std::norm(a_b_);
+  }
+  double marked_probability() const override {
+    return static_cast<double>(m_) * std::norm(a_t_);
+  }
+  double block_probability(Index block) const override {
+    PQS_CHECK_MSG(block < num_blocks(), "block index out of range");
+    if (block != target_block()) {
+      return static_cast<double>(block_size()) * std::norm(a_o_);
+    }
+    return static_cast<double>(m_) * std::norm(a_t_) +
+           static_cast<double>(rest_) * std::norm(a_b_);
+  }
+  std::vector<double> block_distribution() const override {
+    std::vector<double> dist(num_blocks(),
+                             static_cast<double>(block_size()) *
+                                 std::norm(a_o_));
+    dist[target_block()] = block_probability(target_block());
+    return dist;
+  }
+  double norm_squared() const override {
+    return static_cast<double>(m_) * std::norm(a_t_) +
+           static_cast<double>(rest_) * std::norm(a_b_) +
+           static_cast<double>(others_) * std::norm(a_o_);
+  }
+
+  Index sample(Rng& rng) const override {
+    switch (sample_class(rng)) {
+      case Class::kMarked:
+        return spec_.marked[m_ == 1 ? 0 : rng.uniform_below(m_)];
+      case Class::kBlockRest: {
+        // The j-th unmarked offset of the target block: skip past marked
+        // offsets in ascending order.
+        std::uint64_t off = rest_ == 1 ? 0 : rng.uniform_below(rest_);
+        for (const Index mo : marked_offsets_) {
+          if (off >= mo) {
+            ++off;
+          }
+        }
+        return target_block() * block_size() + off;
+      }
+      case Class::kOthers: {
+        Index b = static_cast<Index>(rng.uniform_below(num_blocks() - 1));
+        if (b >= target_block()) {
+          ++b;
+        }
+        return b * block_size() + rng.uniform_below(block_size());
+      }
+    }
+    return spec_.marked.front();  // unreachable
+  }
+  Index sample_block(Rng& rng) const override {
+    switch (sample_class(rng)) {
+      case Class::kMarked:
+      case Class::kBlockRest:
+        return target_block();
+      case Class::kOthers: {
+        Index b = static_cast<Index>(rng.uniform_below(num_blocks() - 1));
+        return b >= target_block() ? b + 1 : b;
+      }
+    }
+    return target_block();  // unreachable
+  }
+
+  std::vector<Amplitude> amplitudes_copy() const override {
+    PQS_CHECK_MSG(spec_.n_items <= kMaxDenseItems,
+                  "state too large to materialize");
+    std::vector<Amplitude> amps(spec_.n_items, a_o_);
+    const std::size_t lo =
+        static_cast<std::size_t>(target_block()) * block_size();
+    std::fill(amps.begin() + lo, amps.begin() + lo + block_size(), a_b_);
+    for (const Index m : spec_.marked) {
+      amps[m] = a_t_;
+    }
+    return amps;
+  }
+
+ private:
+  enum class Class { kMarked, kBlockRest, kOthers };
+
+  Amplitude global_mean() const {
+    return (static_cast<double>(m_) * a_t_ +
+            static_cast<double>(rest_) * a_b_ +
+            static_cast<double>(others_) * a_o_) /
+           static_cast<double>(spec_.n_items);
+  }
+  Amplitude target_block_mean() const {
+    return (static_cast<double>(m_) * a_t_ +
+            static_cast<double>(rest_) * a_b_) /
+           static_cast<double>(block_size());
+  }
+
+  Class sample_class(Rng& rng) const {
+    const double w_t = static_cast<double>(m_) * std::norm(a_t_);
+    const double w_b = static_cast<double>(rest_) * std::norm(a_b_);
+    const double w_o = static_cast<double>(others_) * std::norm(a_o_);
+    double u = rng.uniform01() * (w_t + w_b + w_o);
+    u -= w_t;
+    if (u <= 0.0) {
+      return Class::kMarked;
+    }
+    u -= w_b;
+    if (u <= 0.0 || others_ == 0) {
+      return Class::kBlockRest;
+    }
+    return Class::kOthers;
+  }
+
+  std::uint64_t m_ = 0;       ///< marked states
+  std::uint64_t rest_ = 0;    ///< unmarked states of the target block
+  std::uint64_t others_ = 0;  ///< states outside the target block
+  std::vector<Index> marked_offsets_;  ///< marked addresses within the block
+  Amplitude a_t_, a_b_, a_o_;
+};
+
+// ---------------------------------------------------------------------------
+// Factory and circuit execution
+// ---------------------------------------------------------------------------
+
+BackendKind resolve_backend(BackendKind kind, const BackendSpec& spec) {
+  if (kind == BackendKind::kAuto) {
+    kind = spec.n_items <= kMaxDenseItems ? BackendKind::kDense
+                                          : BackendKind::kSymmetry;
+  }
+  if (kind == BackendKind::kDense) {
+    PQS_CHECK_MSG(spec.n_items <= kMaxDenseItems,
+                  "database too large for the dense backend; pass "
+                  "--backend symmetry (or kAuto)");
+  } else {
+    PQS_CHECK_MSG(symmetry_supports(spec),
+                  "symmetry backend needs a non-empty marked set inside a "
+                  "single block");
+  }
+  return kind;
+}
+
+std::unique_ptr<Backend> make_backend(BackendKind kind,
+                                      const BackendSpec& spec) {
+  switch (resolve_backend(kind, spec)) {
+    case BackendKind::kDense:
+      return std::make_unique<DenseBackend>(spec);
+    case BackendKind::kSymmetry:
+      return std::make_unique<SymmetryBackend>(spec);
+    case BackendKind::kAuto:
+      break;  // unreachable: resolve_backend never returns kAuto
+  }
+  throw CheckFailure("unresolved backend kind");
+}
+
+void require_dense(BackendKind kind, std::string_view what) {
+  PQS_CHECK_MSG(kind == BackendKind::kAuto || kind == BackendKind::kDense,
+                std::string(what) + " needs full amplitude vectors and "
+                "therefore the dense backend");
+}
+
+namespace {
+
+/// Visitor deciding whether one op preserves the block symmetry, collecting
+/// the block-op granularity on the way.
+struct SymmetryScan {
+  const OracleView& oracle;
+  std::optional<unsigned> block_bits;  ///< k of block ops seen so far
+  bool ok = true;
+
+  void fail() { ok = false; }
+  void note_block_bits(unsigned k) {
+    if (block_bits.has_value() && *block_bits != k) {
+      fail();  // two distinct block granularities break the 3-class split
+    } else {
+      block_bits = k;
+    }
+  }
+
+  void operator()(const Gate1Op&) { fail(); }
+  void operator()(const CGate1Op&) { fail(); }
+  void operator()(const LayerOp&) { fail(); }
+  void operator()(const OracleOp&) {}
+  void operator()(const OraclePhaseOp&) {}
+  void operator()(const GlobalDiffusionOp&) {}
+  void operator()(const BlockDiffusionOp& op) { note_block_bits(op.k); }
+  void operator()(const BlockRotationOp& op) { note_block_bits(op.k); }
+  void operator()(const PhaseFlipKnownOp&) { fail(); }
+  void operator()(const MczOp&) { fail(); }
+  void operator()(const GlobalPhaseOp&) {}
+  void operator()(const NonTargetMeanOp&) {
+    if (oracle.marked_list.size() != 1 ||
+        oracle.marked_list.front() != oracle.target) {
+      fail();  // Step 3 keeps exactly the unique target fixed
+    }
+  }
+};
+
+struct BackendApplyVisitor {
+  Backend& backend;
+
+  void operator()(const Gate1Op& op) const { backend.apply_gate1(op.q, op.g); }
+  void operator()(const CGate1Op& op) const {
+    backend.apply_controlled_gate1(op.control_mask, op.q, op.g);
+  }
+  void operator()(const LayerOp& op) const {
+    const unsigned n = log2_exact(backend.num_items());
+    for (unsigned q = 0; q < n; ++q) {
+      backend.apply_gate1(q, op.g);
+    }
+  }
+  void operator()(const OracleOp&) const { backend.apply_oracle(); }
+  void operator()(const OraclePhaseOp& op) const {
+    backend.apply_oracle_phase(op.phi);
+  }
+  void operator()(const GlobalDiffusionOp&) const {
+    backend.apply_global_diffusion();
+  }
+  void operator()(const BlockDiffusionOp& op) const {
+    check_blocks(op.k);
+    backend.apply_block_diffusion();
+  }
+  void operator()(const BlockRotationOp& op) const {
+    check_blocks(op.k);
+    backend.apply_block_rotation(op.phi);
+  }
+  void operator()(const PhaseFlipKnownOp& op) const {
+    backend.apply_phase_flip_known(op.x);
+  }
+  void operator()(const MczOp& op) const { backend.apply_mcz(op.mask); }
+  void operator()(const GlobalPhaseOp& op) const {
+    backend.apply_global_phase(op.phase);
+  }
+  void operator()(const NonTargetMeanOp&) const { backend.apply_step3(); }
+
+ private:
+  void check_blocks(unsigned k) const {
+    PQS_CHECK_MSG(backend.num_blocks() == pow2(k),
+                  "circuit block granularity does not match the backend's "
+                  "block structure");
+  }
+};
+
+}  // namespace
+
+std::optional<BackendSpec> symmetric_spec(const Circuit& circuit,
+                                          const OracleView& oracle) {
+  if (oracle.marked_list.empty()) {
+    return std::nullopt;
+  }
+  SymmetryScan scan{.oracle = oracle};
+  for (const auto& op : circuit.ops()) {
+    std::visit(scan, op);
+    if (!scan.ok) {
+      return std::nullopt;
+    }
+  }
+  BackendSpec spec{pow2(circuit.num_qubits()),
+                   scan.block_bits.has_value() ? pow2(*scan.block_bits)
+                                               : std::uint64_t{1},
+                   oracle.marked_list};
+  if (!symmetry_supports(spec)) {
+    return std::nullopt;
+  }
+  return spec;
+}
+
+std::uint64_t apply_circuit(Backend& backend, const Circuit& circuit) {
+  PQS_CHECK_MSG(backend.num_items() == pow2(circuit.num_qubits()),
+                "circuit dimension does not match the backend");
+  BackendApplyVisitor visitor{backend};
+  std::uint64_t queries = 0;
+  for (const auto& op : circuit.ops()) {
+    std::visit(visitor, op);
+    queries += op_query_cost(op);
+  }
+  return queries;
+}
+
+}  // namespace pqs::qsim

@@ -1,0 +1,189 @@
+// Pluggable simulation backends.
+//
+// Every algorithm in this repository drives the same handful of operators:
+// the oracle phase I_t, the global diffusion I0 = 2|psi0><psi0| - I, the
+// per-block diffusion I_[K] (x) I0,[N/K], their generalized (phase-rotation)
+// forms, and the Step-3 "invert the unmarked amplitudes about their mean".
+// `Backend` abstracts those operators away from the state representation so
+// the algorithm layers (grover/, partial/, reduction/, zalka/) can dispatch
+// between engines at runtime:
+//
+//   DenseBackend     the exact O(N)-per-operation amplitude array, built on
+//                    qsim/kernels. Works for ANY database size N (the kernels
+//                    are dimension-agnostic; blocks are the K contiguous
+//                    ranges of N/K addresses), supports every operator and
+//                    arbitrary marked sets, and is the only engine that can
+//                    expose full amplitude vectors (snapshots, noise, the
+//                    Zalka hybrid argument). Capacity-limited to
+//                    N <= 2^kMaxQubits.
+//
+//   SymmetryBackend  the O(K)-per-operation engine. The partial-search state
+//                    is fully block-symmetric: at every point of the
+//                    algorithm the N amplitudes take only three distinct
+//                    values — one on the marked set, one on the rest of the
+//                    target block, one on all other blocks (Section 3's
+//                    invariant subspace, here tracked as literal per-state
+//                    amplitudes rather than subspace coordinates, so results
+//                    match DenseBackend to machine precision). Every operator
+//                    above preserves that structure, which makes huge-N
+//                    simulation (n = 60+ qubits) exact and effectively free.
+//
+// Pick an engine with BackendKind: kDense / kSymmetry force one, kAuto takes
+// the dense engine whenever the state fits in memory (bit-identical to the
+// pre-backend code paths) and the symmetry engine beyond that. Construction
+// goes through make_backend(kind, spec).
+//
+// Thread-safety: backends are single-owner mutable state, like StateVector.
+// The batched execution layer (qsim/batch.h) gives each shot its own backend
+// or samples a const backend with per-shot RNG streams.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/random.h"
+#include "qsim/circuit.h"
+#include "qsim/types.h"
+
+namespace pqs::qsim {
+
+/// Which simulation engine to use.
+enum class BackendKind {
+  kAuto,      ///< dense when N fits in memory, symmetry beyond
+  kDense,     ///< full amplitude array, O(N) per operation
+  kSymmetry,  ///< block-symmetric amplitudes, O(K) per operation
+};
+
+/// Parse "auto" / "dense" / "symmetry" (as the --backend CLI flag does).
+/// Throws CheckFailure on anything else.
+BackendKind parse_backend_kind(std::string_view name);
+std::string to_string(BackendKind kind);
+
+/// Largest database a DenseBackend will allocate (matches StateVector's
+/// qubit ceiling).
+inline constexpr std::uint64_t kMaxDenseItems = std::uint64_t{1} << kMaxQubits;
+
+/// The static shape of a simulation: database size, block structure, and the
+/// marked set. Blocks are the K contiguous ranges of N/K addresses; for the
+/// power-of-two case this coincides with the paper's "first k bits of the
+/// address" convention (block of x = x >> (n - k)).
+struct BackendSpec {
+  std::uint64_t n_items = 0;   ///< N >= 2; any value, not only powers of two
+  std::uint64_t n_blocks = 1;  ///< K >= 1; must divide N
+  std::vector<Index> marked;   ///< sorted, unique, non-empty
+
+  /// The paper's setting: a unique marked address.
+  static BackendSpec single_target(std::uint64_t n_items,
+                                   std::uint64_t n_blocks, Index target);
+};
+
+/// The engine interface. All operators are in-place on the backend's state;
+/// `reset_uniform` restores |psi0>. Query accounting stays with the caller
+/// (oracle::Database's meter), exactly as with the raw kernels.
+class Backend {
+ public:
+  explicit Backend(BackendSpec spec);
+  virtual ~Backend() = default;
+
+  Backend(const Backend&) = delete;
+  Backend& operator=(const Backend&) = delete;
+
+  virtual BackendKind kind() const = 0;
+  const BackendSpec& spec() const { return spec_; }
+  std::uint64_t num_items() const { return spec_.n_items; }
+  std::uint64_t num_blocks() const { return spec_.n_blocks; }
+  std::uint64_t block_size() const { return spec_.n_items / spec_.n_blocks; }
+  std::uint64_t num_marked() const { return spec_.marked.size(); }
+  Index block_of(Index x) const { return x / block_size(); }
+  /// The block holding the first marked address.
+  Index target_block() const { return block_of(spec_.marked.front()); }
+
+  // -- state preparation --
+  /// |psi0> = (1/sqrt(N)) sum_x |x>.
+  virtual void reset_uniform() = 0;
+
+  // -- operators (the caller meters queries) --
+  /// I_t generalized to the marked set: flip the sign of every marked state.
+  virtual void apply_oracle() = 0;
+  /// Generalized oracle: multiply marked states by e^{i phi}.
+  virtual void apply_oracle_phase(double phi) = 0;
+  /// I0 = 2|psi0><psi0| - I.
+  virtual void apply_global_diffusion() = 0;
+  /// I + (e^{i phi} - 1)|psi0><psi0| (phi = pi recovers -I0 up to phase).
+  virtual void apply_global_rotation(double phi) = 0;
+  /// I_[K] (x) I0,[N/K] over the spec's K blocks.
+  virtual void apply_block_diffusion() = 0;
+  /// Generalized per-block rotation by phase phi (sure-success variant).
+  virtual void apply_block_rotation(double phi) = 0;
+  /// Step 3: keep the marked amplitudes, invert every other amplitude about
+  /// their common mean.
+  virtual void apply_step3() = 0;
+  /// Multiply the whole state by a fixed phase.
+  virtual void apply_global_phase(Amplitude phase) = 0;
+
+  // -- gate-level ops (dense only; the defaults throw CheckFailure) --
+  virtual void apply_gate1(unsigned q, const Gate2& g);
+  virtual void apply_controlled_gate1(std::uint64_t control_mask, unsigned q,
+                                      const Gate2& g);
+  virtual void apply_phase_flip_known(Index x);
+  virtual void apply_mcz(std::uint64_t mask);
+
+  // -- observables --
+  virtual double probability(Index x) const = 0;
+  /// Total mass on the marked set.
+  virtual double marked_probability() const = 0;
+  virtual double block_probability(Index block) const = 0;
+  /// All K block probabilities.
+  virtual std::vector<double> block_distribution() const = 0;
+  virtual double norm_squared() const = 0;
+
+  // -- measurement (state not collapsed) --
+  virtual Index sample(Rng& rng) const = 0;
+  virtual Index sample_block(Rng& rng) const = 0;
+
+  /// Materialize the full amplitude vector (snapshots, cross-validation).
+  /// Checked: N must be at most kMaxDenseItems.
+  virtual std::vector<Amplitude> amplitudes_copy() const = 0;
+
+ protected:
+  BackendSpec spec_;
+};
+
+/// True when the spec's marked set lies inside a single block — the
+/// precondition for the symmetry engine.
+bool symmetry_supports(const BackendSpec& spec);
+
+/// Resolve kAuto against the spec (dense when it fits, symmetry beyond).
+/// Checked: the resolved engine must actually support the spec.
+BackendKind resolve_backend(BackendKind kind, const BackendSpec& spec);
+
+/// Construct the chosen engine in the uniform start state.
+std::unique_ptr<Backend> make_backend(BackendKind kind,
+                                      const BackendSpec& spec);
+
+/// Guard for code paths that genuinely need full amplitude vectors (noise
+/// trajectories, snapshots, the Zalka hybrid argument): throws CheckFailure
+/// naming `what` when `kind` resolves to anything but dense.
+void require_dense(BackendKind kind, std::string_view what);
+
+// -- circuit execution on a backend --
+
+/// The spec a symmetric execution of `circuit` against `oracle` would use,
+/// or nullopt when the pair leaves the 3-class symmetry: the circuit uses a
+/// non-symmetric op (single-qubit gates, MCZ, ...), mixes distinct block
+/// sizes, the oracle's marked set is unknown or empty or spans blocks, or a
+/// Step-3 op appears with more than one marked address.
+std::optional<BackendSpec> symmetric_spec(const Circuit& circuit,
+                                          const OracleView& oracle);
+
+/// Execute every op of `circuit` on `backend` (which must already be in the
+/// desired start state; circuits assume |psi0>). Returns the oracle queries
+/// consumed. Checked: every op must be applicable to the backend — run
+/// symmetric_spec first when in doubt.
+std::uint64_t apply_circuit(Backend& backend, const Circuit& circuit);
+
+}  // namespace pqs::qsim

@@ -1,0 +1,135 @@
+#include "qsim/batch.h"
+
+#include <algorithm>
+#include <sstream>
+#include <thread>
+
+#ifdef PQS_HAVE_OPENMP
+#include <omp.h>
+#endif
+
+#include "common/check.h"
+
+namespace pqs::qsim {
+
+std::string ShotReport::to_string(std::size_t max_rows) const {
+  // Sort outcomes by count, descending.
+  std::vector<std::pair<Index, std::uint64_t>> rows(counts.begin(),
+                                                    counts.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second > b.second || (a.second == b.second && a.first < b.first);
+  });
+  std::ostringstream os;
+  os << "shots=" << shots << " queries/shot=" << queries_per_shot << "\n";
+  for (std::size_t i = 0; i < rows.size() && i < max_rows; ++i) {
+    os << "  " << rows[i].first << ": " << rows[i].second << " ("
+       << (100.0 * static_cast<double>(rows[i].second) /
+           static_cast<double>(shots))
+       << "%)\n";
+  }
+  if (rows.size() > max_rows) {
+    os << "  ... " << rows.size() - max_rows << " more outcomes\n";
+  }
+  return os.str();
+}
+
+BatchRunner::BatchRunner(BatchOptions options) : options_(options) {
+#ifdef PQS_HAVE_OPENMP
+  threads_ = options_.threads != 0
+                 ? options_.threads
+                 : static_cast<unsigned>(omp_get_max_threads());
+#else
+  threads_ = 1;
+#endif
+  threads_ = std::max(threads_, 1u);
+}
+
+Rng BatchRunner::shot_rng(std::uint64_t shot) const {
+  // A splitmix64 step decorrelates (seed, shot) pairs; Rng's own
+  // splitmix-based state expansion adds the second mixing layer before the
+  // bits become xoshiro output.
+  std::uint64_t state = options_.seed ^ (shot * 0x9e3779b97f4a7c15ULL);
+  const std::uint64_t mixed = splitmix64(state);
+  return Rng(mixed);
+}
+
+std::vector<Index> BatchRunner::map_shots(
+    std::uint64_t shots,
+    const std::function<Index(std::uint64_t, Rng&)>& body) const {
+  PQS_CHECK_MSG(shots > 0, "need at least one shot");
+  std::vector<Index> outcomes(shots);
+  const auto n = static_cast<std::int64_t>(shots);
+#ifdef PQS_HAVE_OPENMP
+#pragma omp parallel for schedule(static) num_threads(threads_)
+#endif
+  for (std::int64_t i = 0; i < n; ++i) {
+    const auto shot = static_cast<std::uint64_t>(i);
+    Rng rng = shot_rng(shot);
+    outcomes[static_cast<std::size_t>(i)] = body(shot, rng);
+  }
+  return outcomes;
+}
+
+ShotReport BatchRunner::tally(const std::vector<Index>& outcomes,
+                              std::uint64_t queries_per_shot) {
+  ShotReport report;
+  report.shots = outcomes.size();
+  report.queries_per_shot = queries_per_shot;
+  for (const Index outcome : outcomes) {
+    ++report.counts[outcome];
+  }
+  std::uint64_t best = 0;
+  for (const auto& [outcome, count] : report.counts) {
+    if (count > best) {  // ties resolve to the smallest outcome
+      best = count;
+      report.mode = outcome;
+    }
+  }
+  if (report.shots > 0) {
+    report.mode_frequency =
+        static_cast<double>(best) / static_cast<double>(report.shots);
+  }
+  return report;
+}
+
+ShotReport BatchRunner::sample_shots(const StateVector& state,
+                                     std::uint64_t shots,
+                                     std::uint64_t queries_per_shot) const {
+  return tally(map_shots(shots,
+                         [&state](std::uint64_t, Rng& rng) {
+                           return state.sample(rng);
+                         }),
+               queries_per_shot);
+}
+
+ShotReport BatchRunner::sample_shots(const Backend& backend,
+                                     std::uint64_t shots,
+                                     std::uint64_t queries_per_shot) const {
+  return tally(map_shots(shots,
+                         [&backend](std::uint64_t, Rng& rng) {
+                           return backend.sample(rng);
+                         }),
+               queries_per_shot);
+}
+
+ShotReport BatchRunner::sample_block_shots(
+    const StateVector& state, unsigned k, std::uint64_t shots,
+    std::uint64_t queries_per_shot) const {
+  return tally(map_shots(shots,
+                         [&state, k](std::uint64_t, Rng& rng) {
+                           return state.sample_block(k, rng);
+                         }),
+               queries_per_shot);
+}
+
+ShotReport BatchRunner::sample_block_shots(
+    const Backend& backend, std::uint64_t shots,
+    std::uint64_t queries_per_shot) const {
+  return tally(map_shots(shots,
+                         [&backend](std::uint64_t, Rng& rng) {
+                           return backend.sample_block(rng);
+                         }),
+               queries_per_shot);
+}
+
+}  // namespace pqs::qsim

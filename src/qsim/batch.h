@@ -1,0 +1,90 @@
+// Batched shot execution.
+//
+// Multi-shot workloads — repeated measurement of one pre-computed state,
+// independent noise trajectories, or sweeps over many targets — are
+// embarrassingly parallel, but a naive parallel loop over a shared RNG is
+// neither reproducible nor correct. BatchRunner fans shots across OpenMP
+// threads (serial without PQS_HAVE_OPENMP) while giving every shot its own
+// deterministic RNG stream derived from (seed, shot index), so results are
+// identical for any thread count, including 1.
+//
+// The Simulator front-end routes its run_shots / run_block_shots through
+// this layer; algorithm-level sweeps (benches, examples) use map_shots
+// directly with their own shot body.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "qsim/backend.h"
+#include "qsim/state_vector.h"
+#include "qsim/types.h"
+
+namespace pqs::qsim {
+
+/// Aggregated result of a multi-shot execution.
+struct ShotReport {
+  std::map<Index, std::uint64_t> counts;  ///< outcome -> occurrences
+  std::uint64_t shots = 0;
+  std::uint64_t queries_per_shot = 0;
+  /// Most frequent outcome and its empirical probability.
+  Index mode = 0;
+  double mode_frequency = 0.0;
+
+  std::string to_string(std::size_t max_rows = 8) const;
+};
+
+struct BatchOptions {
+  /// Worker threads for the shot fan-out; 0 = one per hardware thread.
+  /// Ignored (always 1) when built without OpenMP.
+  unsigned threads = 0;
+  /// Base seed of the per-shot RNG streams.
+  std::uint64_t seed = 2005;
+};
+
+/// Deterministic parallel shot executor.
+class BatchRunner {
+ public:
+  explicit BatchRunner(BatchOptions options = {});
+
+  const BatchOptions& options() const { return options_; }
+  /// The resolved worker count (>= 1).
+  unsigned threads() const { return threads_; }
+
+  /// The RNG stream of one shot: seeded from (options.seed, shot) only, so
+  /// any scheduling of the shots reproduces the same outcomes.
+  Rng shot_rng(std::uint64_t shot) const;
+
+  /// outcomes[i] = body(i, rng_i), fanned across threads. The body must be
+  /// safe to call concurrently for distinct shots (shared inputs read-only).
+  std::vector<Index> map_shots(
+      std::uint64_t shots,
+      const std::function<Index(std::uint64_t shot, Rng& rng)>& body) const;
+
+  /// Aggregate raw outcomes into a report.
+  static ShotReport tally(const std::vector<Index>& outcomes,
+                          std::uint64_t queries_per_shot);
+
+  // -- convenience wrappers --
+  /// Repeated full measurement of a fixed state.
+  ShotReport sample_shots(const StateVector& state, std::uint64_t shots,
+                          std::uint64_t queries_per_shot) const;
+  ShotReport sample_shots(const Backend& backend, std::uint64_t shots,
+                          std::uint64_t queries_per_shot) const;
+  /// Repeated measurement of the first k bits / the block index.
+  ShotReport sample_block_shots(const StateVector& state, unsigned k,
+                                std::uint64_t shots,
+                                std::uint64_t queries_per_shot) const;
+  ShotReport sample_block_shots(const Backend& backend, std::uint64_t shots,
+                                std::uint64_t queries_per_shot) const;
+
+ private:
+  BatchOptions options_;
+  unsigned threads_ = 1;
+};
+
+}  // namespace pqs::qsim

@@ -152,10 +152,19 @@ struct ApplyVisitor {
     if (oracle_as_identity) {
       return;
     }
-    kernels::phase_flip_if(state.amplitudes(), oracle.marked);
+    if (!oracle.marked_list.empty()) {
+      kernels::phase_flip_indices(state.amplitudes(), oracle.marked_list);
+    } else {
+      kernels::phase_flip_if(state.amplitudes(), oracle.marked);
+    }
   }
   void operator()(const OraclePhaseOp& op) const {
     if (oracle_as_identity) {
+      return;
+    }
+    if (!oracle.marked_list.empty()) {
+      kernels::phase_rotate_indices(state.amplitudes(), oracle.marked_list,
+                                    op.phi);
       return;
     }
     const Amplitude factor = std::polar(1.0, op.phi);

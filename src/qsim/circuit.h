@@ -25,6 +25,11 @@ struct OracleView {
   std::function<bool(Index)> marked;
   /// The unique target (used by ops that need the paper's I_t directly).
   Index target = 0;
+  /// Explicit marked set (sorted, unique), when the oracle layer knows it.
+  /// Non-empty lets the executor flip oracle phases in O(m) instead of
+  /// scanning all N basis states through `marked`; empty means "unknown"
+  /// and falls back to the predicate scan.
+  std::vector<Index> marked_list;
 };
 
 // --- Ops ---

@@ -26,6 +26,31 @@ void check_state_size(std::span<const Amplitude> state, unsigned n_qubits) {
 
 }  // namespace
 
+Amplitude sum_pairwise(std::span<const Amplitude> state) {
+  if (state.size() <= 64) {
+    Amplitude sum{0.0, 0.0};
+    for (const Amplitude& a : state) {
+      sum += a;
+    }
+    return sum;
+  }
+  const std::size_t mid = state.size() / 2;
+  return sum_pairwise(state.first(mid)) + sum_pairwise(state.subspan(mid));
+}
+
+double norm_squared_pairwise(std::span<const Amplitude> state) {
+  if (state.size() <= 64) {
+    double sum = 0.0;
+    for (const Amplitude& a : state) {
+      sum += std::norm(a);
+    }
+    return sum;
+  }
+  const std::size_t mid = state.size() / 2;
+  return norm_squared_pairwise(state.first(mid)) +
+         norm_squared_pairwise(state.subspan(mid));
+}
+
 void apply_gate1(std::span<Amplitude> state, unsigned n_qubits, unsigned q,
                  const Gate2& g) {
   check_state_size(state, n_qubits);
@@ -90,16 +115,24 @@ void phase_rotate_index(std::span<Amplitude> state, Index t, double phi) {
   state[t] *= std::polar(1.0, phi);
 }
 
-void phase_flip_if(std::span<Amplitude> state,
-                   const std::function<bool(Index)>& predicate) {
-  const auto n = static_cast<SIdx>(state.size());
-#ifdef PQS_HAVE_OPENMP
-#pragma omp parallel for schedule(static)
-#endif
-  for (SIdx i = 0; i < n; ++i) {
-    if (predicate(static_cast<Index>(i))) {
-      state[static_cast<std::size_t>(i)] = -state[static_cast<std::size_t>(i)];
-    }
+void phase_flip_indices(std::span<Amplitude> state,
+                        std::span<const Index> marked_sorted) {
+  for (std::size_t j = 0; j < marked_sorted.size(); ++j) {
+    const Index m = marked_sorted[j];
+    PQS_CHECK_MSG(m < state.size(), "marked index out of range");
+    PQS_DCHECK(j == 0 || marked_sorted[j - 1] < m);
+    state[m] = -state[m];
+  }
+}
+
+void phase_rotate_indices(std::span<Amplitude> state,
+                          std::span<const Index> marked_sorted, double phi) {
+  const Amplitude factor = std::polar(1.0, phi);
+  for (std::size_t j = 0; j < marked_sorted.size(); ++j) {
+    const Index m = marked_sorted[j];
+    PQS_CHECK_MSG(m < state.size(), "marked index out of range");
+    PQS_DCHECK(j == 0 || marked_sorted[j - 1] < m);
+    state[m] *= factor;
   }
 }
 
@@ -131,11 +164,8 @@ void reflect_blocks_about_uniform(std::span<Amplitude> state,
 #pragma omp parallel for schedule(static)
 #endif
   for (SIdx b = 0; b < n_blocks; ++b) {
-    Amplitude sum{0.0, 0.0};
     const std::size_t lo = static_cast<std::size_t>(b) * block_size;
-    for (std::size_t i = lo; i < lo + block_size; ++i) {
-      sum += state[i];
-    }
+    const Amplitude sum = sum_pairwise(state.subspan(lo, block_size));
     const Amplitude twice_mean =
         2.0 * sum / static_cast<double>(block_size);
     for (std::size_t i = lo; i < lo + block_size; ++i) {
@@ -155,11 +185,8 @@ void rotate_blocks_about_uniform(std::span<Amplitude> state,
 #pragma omp parallel for schedule(static)
 #endif
   for (SIdx b = 0; b < n_blocks; ++b) {
-    Amplitude sum{0.0, 0.0};
     const std::size_t lo = static_cast<std::size_t>(b) * block_size;
-    for (std::size_t i = lo; i < lo + block_size; ++i) {
-      sum += state[i];
-    }
+    const Amplitude sum = sum_pairwise(state.subspan(lo, block_size));
     const Amplitude add = factor * sum / static_cast<double>(block_size);
     for (std::size_t i = lo; i < lo + block_size; ++i) {
       state[i] += add;
@@ -186,14 +213,8 @@ void reflect_about_state(std::span<Amplitude> state,
 void reflect_non_target_about_their_mean(std::span<Amplitude> state, Index t) {
   PQS_CHECK_MSG(t < state.size(), "target index out of range");
   PQS_CHECK_MSG(state.size() >= 2, "need at least two basis states");
-  Amplitude sum{0.0, 0.0};
   const auto n = static_cast<SIdx>(state.size());
-#ifdef PQS_HAVE_OPENMP
-#pragma omp parallel for schedule(static) reduction(+ : sum)
-#endif
-  for (SIdx i = 0; i < n; ++i) {
-    sum += state[static_cast<std::size_t>(i)];
-  }
+  Amplitude sum = sum_pairwise(state);
   sum -= state[t];
   const Amplitude twice_mean =
       2.0 * sum / static_cast<double>(state.size() - 1);
@@ -213,14 +234,8 @@ void reflect_unmarked_about_their_mean(std::span<Amplitude> state,
   PQS_CHECK_MSG(!marked_sorted.empty(), "need at least one marked index");
   PQS_CHECK_MSG(marked_sorted.size() < state.size() - 1,
                 "need at least two unmarked states");
-  Amplitude sum{0.0, 0.0};
   const auto n = static_cast<SIdx>(state.size());
-#ifdef PQS_HAVE_OPENMP
-#pragma omp parallel for schedule(static) reduction(+ : sum)
-#endif
-  for (SIdx i = 0; i < n; ++i) {
-    sum += state[static_cast<std::size_t>(i)];
-  }
+  Amplitude sum = sum_pairwise(state);
   std::vector<Amplitude> saved(marked_sorted.size());
   for (std::size_t j = 0; j < marked_sorted.size(); ++j) {
     const Index m = marked_sorted[j];

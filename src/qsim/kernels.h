@@ -7,7 +7,7 @@
 //   reflect_blocks_about_uniform = I_[K] (x) I0,[N/K]   (Section 2.2)
 #pragma once
 
-#include <functional>
+#include <cstdint>
 #include <span>
 
 #include "qsim/gates.h"
@@ -34,9 +34,32 @@ void phase_flip_index(std::span<Amplitude> state, Index t);
 void phase_rotate_index(std::span<Amplitude> state, Index t, double phi);
 
 /// Multiply by -1 every amplitude whose index satisfies the predicate.
-/// Used for multi-target oracles and the gate-level |0><0| phase.
-void phase_flip_if(std::span<Amplitude> state,
-                   const std::function<bool(Index)>& predicate);
+/// Templated so the predicate inlines into the O(N) loop: the previous
+/// std::function form paid a virtual dispatch per basis state, once per
+/// Grover iteration. Prefer phase_flip_indices when the marked set is known
+/// explicitly — that path is O(m), not O(N).
+template <typename Pred>
+void phase_flip_if(std::span<Amplitude> state, Pred&& predicate) {
+  const auto n = static_cast<std::int64_t>(state.size());
+#ifdef PQS_HAVE_OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (predicate(static_cast<Index>(i))) {
+      state[static_cast<std::size_t>(i)] = -state[static_cast<std::size_t>(i)];
+    }
+  }
+}
+
+/// Oracle fast path: flip the sign of exactly the listed basis states.
+/// `marked_sorted` must be sorted and unique. O(m) instead of O(N).
+void phase_flip_indices(std::span<Amplitude> state,
+                        std::span<const Index> marked_sorted);
+
+/// Generalized oracle fast path: multiply the listed basis states by
+/// e^{i phi}. `marked_sorted` must be sorted and unique. O(m).
+void phase_rotate_indices(std::span<Amplitude> state,
+                          std::span<const Index> marked_sorted, double phi);
 
 /// Multiply by -1 every amplitude whose index has all bits of `mask` set
 /// (a multi-controlled Z on the qubits in `mask`).
@@ -74,6 +97,13 @@ void reflect_non_target_about_their_mean(std::span<Amplitude> state, Index t);
 /// inverted about their common mean. One oracle query marks the whole set.
 void reflect_unmarked_about_their_mean(std::span<Amplitude> state,
                                        std::span<const Index> marked_sorted);
+
+/// Pairwise (cascade) summation of amplitudes / of probability mass:
+/// rounding error O(log N) ulps instead of the O(N) of a sequential loop.
+/// The reflection kernels' means go through these so that thousands of
+/// iterations at N = 2^20+ still match the O(K) symmetry backend to 1e-10.
+Amplitude sum_pairwise(std::span<const Amplitude> state);
+double norm_squared_pairwise(std::span<const Amplitude> state);
 
 /// <a|b>.
 Amplitude inner_product(std::span<const Amplitude> a,

@@ -1,39 +1,16 @@
 #include "qsim/simulator.h"
 
-#include <algorithm>
-#include <sstream>
-
 #include "common/check.h"
+#include "common/math.h"
 
 namespace pqs::qsim {
-
-std::string ShotReport::to_string(std::size_t max_rows) const {
-  // Sort outcomes by count, descending.
-  std::vector<std::pair<Index, std::uint64_t>> rows(counts.begin(),
-                                                    counts.end());
-  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
-    return a.second > b.second || (a.second == b.second && a.first < b.first);
-  });
-  std::ostringstream os;
-  os << "shots=" << shots << " queries/shot=" << queries_per_shot << "\n";
-  for (std::size_t i = 0; i < rows.size() && i < max_rows; ++i) {
-    os << "  " << rows[i].first << ": " << rows[i].second << " ("
-       << (100.0 * static_cast<double>(rows[i].second) /
-           static_cast<double>(shots))
-       << "%)\n";
-  }
-  if (rows.size() > max_rows) {
-    os << "  ... " << rows.size() - max_rows << " more outcomes\n";
-  }
-  return os.str();
-}
 
 Simulator::Simulator(std::uint64_t seed) : rng_(seed) {}
 
 void Simulator::reseed(std::uint64_t seed) { rng_ = Rng(seed); }
 
 StateVector Simulator::execute(const Circuit& circuit,
-                               const OracleView& oracle) {
+                               const OracleView& oracle, Rng& rng) {
   auto state = StateVector::uniform(circuit.num_qubits());
   if (!noise_.enabled()) {
     circuit.apply(state, oracle);
@@ -45,46 +22,71 @@ StateVector Simulator::execute(const Circuit& circuit,
     single.add(op);
     single.apply(state, oracle);
     if (op_query_cost(op) > 0) {
-      apply_noise(state, noise_, rng_);
+      apply_noise(state, noise_, rng);
     }
   }
   return state;
 }
 
+std::unique_ptr<Backend> Simulator::symmetry_engine(
+    const Circuit& circuit, const OracleView& oracle,
+    std::optional<unsigned> measure_k) const {
+  if (backend_kind_ != BackendKind::kSymmetry) {
+    return nullptr;
+  }
+  PQS_CHECK_MSG(!noise_.enabled(),
+                "noise trajectories need full amplitude vectors; use the "
+                "dense backend");
+  auto spec = symmetric_spec(circuit, oracle);
+  PQS_CHECK_MSG(spec.has_value(),
+                "circuit/oracle pair is not block-symmetric; use the dense "
+                "backend");
+  if (measure_k.has_value()) {
+    if (spec->n_blocks == 1) {
+      // The circuit fixed no block granularity; adopt the measurement's.
+      spec->n_blocks = pow2(*measure_k);
+    }
+    PQS_CHECK_MSG(spec->n_blocks == pow2(*measure_k),
+                  "block measurement granularity does not match the "
+                  "circuit's block structure");
+  }
+  auto backend = make_backend(BackendKind::kSymmetry, *spec);
+  apply_circuit(*backend, circuit);
+  return backend;
+}
+
+BatchRunner Simulator::make_runner() {
+  BatchOptions options = batch_;
+  options.seed = rng_.next();  // one draw per run* call: reseed() resets it
+  return BatchRunner(options);
+}
+
 StateVector Simulator::run_state(const Circuit& circuit,
                                  const OracleView& oracle) {
-  return execute(circuit, oracle);
+  require_dense(backend_kind_, "run_state");
+  return execute(circuit, oracle, rng_);
 }
 
 ShotReport Simulator::run_shots(const Circuit& circuit,
                                 const OracleView& oracle,
                                 std::uint64_t shots) {
   PQS_CHECK(shots > 0);
-  ShotReport report;
-  report.shots = shots;
-  report.queries_per_shot = circuit.query_count();
+  const BatchRunner runner = make_runner();
+  const std::uint64_t queries = circuit.query_count();
+  if (const auto backend = symmetry_engine(circuit, oracle, {})) {
+    return runner.sample_shots(*backend, shots, queries);
+  }
   if (!noise_.enabled()) {
-    // One execution, many samples.
-    const auto state = execute(circuit, oracle);
-    for (std::uint64_t s = 0; s < shots; ++s) {
-      ++report.counts[state.sample(rng_)];
-    }
-  } else {
-    // Fresh trajectory per shot.
-    for (std::uint64_t s = 0; s < shots; ++s) {
-      const auto state = execute(circuit, oracle);
-      ++report.counts[state.sample(rng_)];
-    }
+    // One execution, many parallel samples.
+    const auto state = execute(circuit, oracle, rng_);
+    return runner.sample_shots(state, shots, queries);
   }
-  for (const auto& [outcome, count] : report.counts) {
-    if (count > static_cast<std::uint64_t>(report.mode_frequency *
-                                           static_cast<double>(shots))) {
-      report.mode = outcome;
-      report.mode_frequency =
-          static_cast<double>(count) / static_cast<double>(shots);
-    }
-  }
-  return report;
+  // Fresh trajectory per shot, each on its own RNG stream.
+  const auto outcomes = runner.map_shots(
+      shots, [&](std::uint64_t, Rng& rng) {
+        return execute(circuit, oracle, rng).sample(rng);
+      });
+  return BatchRunner::tally(outcomes, queries);
 }
 
 ShotReport Simulator::run_block_shots(const Circuit& circuit,
@@ -92,29 +94,20 @@ ShotReport Simulator::run_block_shots(const Circuit& circuit,
                                       std::uint64_t shots) {
   PQS_CHECK(shots > 0);
   PQS_CHECK(k >= 1 && k <= circuit.num_qubits());
-  ShotReport report;
-  report.shots = shots;
-  report.queries_per_shot = circuit.query_count();
+  const BatchRunner runner = make_runner();
+  const std::uint64_t queries = circuit.query_count();
+  if (const auto backend = symmetry_engine(circuit, oracle, k)) {
+    return runner.sample_block_shots(*backend, shots, queries);
+  }
   if (!noise_.enabled()) {
-    const auto state = execute(circuit, oracle);
-    for (std::uint64_t s = 0; s < shots; ++s) {
-      ++report.counts[state.sample_block(k, rng_)];
-    }
-  } else {
-    for (std::uint64_t s = 0; s < shots; ++s) {
-      const auto state = execute(circuit, oracle);
-      ++report.counts[state.sample_block(k, rng_)];
-    }
+    const auto state = execute(circuit, oracle, rng_);
+    return runner.sample_block_shots(state, k, shots, queries);
   }
-  for (const auto& [outcome, count] : report.counts) {
-    const double freq =
-        static_cast<double>(count) / static_cast<double>(shots);
-    if (freq > report.mode_frequency) {
-      report.mode = outcome;
-      report.mode_frequency = freq;
-    }
-  }
-  return report;
+  const auto outcomes = runner.map_shots(
+      shots, [&](std::uint64_t, Rng& rng) {
+        return execute(circuit, oracle, rng).sample_block(k, rng);
+      });
+  return BatchRunner::tally(outcomes, queries);
 }
 
 }  // namespace pqs::qsim

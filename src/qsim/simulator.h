@@ -1,32 +1,29 @@
 // Simulator facade: the convenience front-end a downstream user reaches for
 // first. Wraps circuit execution with seeding, repeated-shot sampling,
-// optional noise, and aggregated results; the algorithm modules underneath
-// use the lower-level APIs directly.
+// optional noise, backend selection, and aggregated results; the algorithm
+// modules underneath use the lower-level APIs directly.
+//
+// Backend selection (set_backend): kAuto/kDense execute circuits on the
+// dense state vector exactly as before; kSymmetry executes symmetric
+// circuits (oracle + diffusion ops on one block granularity, single-target
+// oracles) on the O(K) SymmetryBackend — and rejects circuits or features
+// (noise trajectories, run_state) that need full amplitude vectors.
+//
+// Shot execution routes through qsim::BatchRunner: shots fan out across
+// OpenMP threads with independent per-shot RNG streams, so reports are
+// reproducible from the Simulator seed for any thread count (set_batch).
 #pragma once
 
 #include <cstdint>
-#include <map>
-#include <string>
-#include <vector>
 
 #include "common/random.h"
+#include "qsim/backend.h"
+#include "qsim/batch.h"
 #include "qsim/circuit.h"
 #include "qsim/noise.h"
 #include "qsim/state_vector.h"
 
 namespace pqs::qsim {
-
-/// Aggregated result of a multi-shot circuit execution.
-struct ShotReport {
-  std::map<Index, std::uint64_t> counts;  ///< outcome -> occurrences
-  std::uint64_t shots = 0;
-  std::uint64_t queries_per_shot = 0;
-  /// Most frequent outcome and its empirical probability.
-  Index mode = 0;
-  double mode_frequency = 0.0;
-
-  std::string to_string(std::size_t max_rows = 8) const;
-};
 
 class Simulator {
  public:
@@ -39,11 +36,22 @@ class Simulator {
   Rng& rng() { return rng_; }
 
   /// Attach a noise model applied after every oracle call of run_shots /
-  /// run_state (trajectory sampling).
+  /// run_state (trajectory sampling). Noise requires the dense backend.
   void set_noise(const NoiseModel& model) { noise_ = model; }
   const NoiseModel& noise() const { return noise_; }
 
-  /// One noiseless execution returning the full pre-measurement state.
+  /// Choose the simulation engine for circuit execution (default kAuto).
+  void set_backend(BackendKind kind) { backend_kind_ = kind; }
+  BackendKind backend_kind() const { return backend_kind_; }
+
+  /// Configure the shot fan-out (thread count). The seed field of the
+  /// options is ignored: batch seeds derive from the Simulator stream so
+  /// reseed() keeps controlling everything.
+  void set_batch(const BatchOptions& options) { batch_ = options; }
+  const BatchOptions& batch() const { return batch_; }
+
+  /// One noiseless execution returning the full pre-measurement state
+  /// (dense by definition; rejects an explicit symmetry backend).
   StateVector run_state(const Circuit& circuit, const OracleView& oracle);
 
   /// Repeated execute-and-measure. With noise attached, each shot is an
@@ -56,10 +64,22 @@ class Simulator {
                              unsigned k, std::uint64_t shots);
 
  private:
-  StateVector execute(const Circuit& circuit, const OracleView& oracle);
+  StateVector execute(const Circuit& circuit, const OracleView& oracle,
+                      Rng& rng);
+  /// The symmetry engine for this circuit/oracle pair, or nullptr when the
+  /// effective backend is dense (kAuto always resolves dense here: every
+  /// circuit-sized state fits in memory, and dense is bit-compatible with
+  /// the historical behavior). Checked: an explicit kSymmetry request on a
+  /// non-symmetric circuit throws.
+  std::unique_ptr<Backend> symmetry_engine(
+      const Circuit& circuit, const OracleView& oracle,
+      std::optional<unsigned> measure_k) const;
+  BatchRunner make_runner();
 
   Rng rng_;
   NoiseModel noise_;
+  BackendKind backend_kind_ = BackendKind::kAuto;
+  BatchOptions batch_;
 };
 
 }  // namespace pqs::qsim

@@ -4,6 +4,13 @@
 // algorithms need; the O(N) loops live in qsim/kernels.*. Block structure
 // follows the paper: for K = 2^k blocks, the block index of address x is its
 // first k bits, i.e. `x >> (n - k)`.
+//
+// Algorithm layers should usually not drive this class directly any more:
+// qsim/backend.h abstracts the operator set behind pqs::qsim::Backend, with
+// this dense representation as one engine (DenseBackend) and the O(K)
+// block-symmetric engine (SymmetryBackend) as the other. StateVector remains
+// the right type for gate-level circuit work and analyses that manipulate
+// arbitrary amplitude vectors (noise, Zalka hybrids, figures).
 #pragma once
 
 #include <span>

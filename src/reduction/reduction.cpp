@@ -55,7 +55,8 @@ ReductionResult search_full_via_partial(const oracle::Database& db, unsigned k,
 
     // Sure-success partial search for the next k bits.
     const oracle::Database sub(sub_size, sub_target);
-    const auto run = partial::run_partial_search_certain(sub, k, rng);
+    const auto run =
+        partial::run_partial_search_certain(sub, k, rng, options.backend);
     PQS_CHECK_MSG(run.correct, "sure-success partial search failed");
     report.bits_fixed = k;
     report.queries = sub.queries();

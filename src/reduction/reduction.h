@@ -23,6 +23,7 @@
 
 #include "common/random.h"
 #include "oracle/database.h"
+#include "qsim/backend.h"
 
 namespace pqs::reduction {
 
@@ -47,6 +48,11 @@ struct ReductionOptions {
   /// database has at most this many items (the proof's N^{1/3} cut-off;
   /// any small constant demonstrates the same accounting).
   std::uint64_t brute_force_below = 16;
+  /// Engine for the per-level sure-success partial searches. Every level's
+  /// restricted database is block-symmetric, so either engine works; with
+  /// the symmetry engine the cascade reaches databases far beyond dense
+  /// memory limits.
+  qsim::BackendKind backend = qsim::BackendKind::kAuto;
 };
 
 /// Find db's full target address by fixing k bits per level with the

@@ -46,6 +46,7 @@ qsim::StateVector run_with_snapshots(
 
 ZalkaReport analyze_circuit(const qsim::Circuit& circuit,
                             const ZalkaOptions& options) {
+  qsim::require_dense(options.backend, "the Zalka hybrid argument");
   ZalkaReport report;
   report.n_qubits = circuit.num_qubits();
   report.n_items = pow2(report.n_qubits);

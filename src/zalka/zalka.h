@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "oracle/database.h"
+#include "qsim/backend.h"
 #include "qsim/circuit.h"
 
 namespace pqs::zalka {
@@ -66,6 +67,12 @@ struct ZalkaOptions {
   /// Verify Lemma 2's hybrid inequality for at most this many y values
   /// (the full check is O(N T) simulator runs). 0 = all y.
   std::uint64_t lemma2_sample = 0;
+  /// Engine selection, for symmetry with the other layers' options. The
+  /// hybrid argument takes inner products between runs against DIFFERENT
+  /// oracles — states that are not block-symmetric relative to each other —
+  /// so only the dense engine applies: kAuto resolves to dense and an
+  /// explicit kSymmetry request throws CheckFailure.
+  qsim::BackendKind backend = qsim::BackendKind::kAuto;
 };
 
 /// Analyze an arbitrary search circuit. The circuit must prepare nothing

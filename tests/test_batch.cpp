@@ -1,0 +1,141 @@
+// Tests for the batched shot-execution layer: deterministic per-shot RNG
+// streams (thread-count independent), tallying, and the Simulator wiring.
+#include "qsim/batch.h"
+
+#include <gtest/gtest.h>
+
+#include "common/math.h"
+#include "grover/grover.h"
+#include "oracle/database.h"
+#include "qsim/backend.h"
+#include "qsim/simulator.h"
+
+namespace pqs::qsim {
+namespace {
+
+TEST(BatchRunnerTest, OutcomesAreIndependentOfThreadCount) {
+  const oracle::Database db = oracle::Database::with_qubits(8, 17);
+  const auto state =
+      grover::evolve(db, grover::optimal_iterations(pow2(8)));
+  const BatchRunner serial({.threads = 1, .seed = 99});
+  const BatchRunner parallel({.threads = 4, .seed = 99});
+  const auto body = [&state](std::uint64_t, Rng& rng) {
+    return state.sample(rng);
+  };
+  EXPECT_EQ(serial.map_shots(500, body), parallel.map_shots(500, body));
+}
+
+TEST(BatchRunnerTest, DistinctSeedsGiveDistinctStreams) {
+  const BatchRunner a({.threads = 1, .seed = 1});
+  const BatchRunner b({.threads = 1, .seed = 2});
+  const auto body = [](std::uint64_t, Rng& rng) {
+    return static_cast<Index>(rng.uniform_below(1u << 20));
+  };
+  EXPECT_NE(a.map_shots(64, body), b.map_shots(64, body));
+}
+
+TEST(BatchRunnerTest, ShotStreamsAreDecorrelated) {
+  const BatchRunner runner({.threads = 1, .seed = 5});
+  Rng r0 = runner.shot_rng(0);
+  Rng r1 = runner.shot_rng(1);
+  int equal = 0;
+  for (int i = 0; i < 16; ++i) {
+    equal += r0.next() == r1.next() ? 1 : 0;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(BatchRunnerTest, TallyCountsAndModeWithTieBreak) {
+  const std::vector<Index> outcomes{3, 1, 3, 1, 2};
+  const auto report = BatchRunner::tally(outcomes, 7);
+  EXPECT_EQ(report.shots, 5u);
+  EXPECT_EQ(report.queries_per_shot, 7u);
+  EXPECT_EQ(report.counts.at(1), 2u);
+  EXPECT_EQ(report.counts.at(3), 2u);
+  EXPECT_EQ(report.counts.at(2), 1u);
+  EXPECT_EQ(report.mode, 1u);  // tie resolves to the smallest outcome
+  EXPECT_NEAR(report.mode_frequency, 0.4, 1e-12);
+}
+
+TEST(BatchRunnerTest, SampleShotsAgreeBetweenStateAndBackends) {
+  const unsigned n = 8;
+  const oracle::Database db = oracle::Database::with_qubits(n, 200);
+  const std::uint64_t iters = grover::optimal_iterations(pow2(n));
+  const auto state = grover::evolve(db, iters);
+  const auto backend =
+      grover::evolve_on_backend(db, iters, BackendKind::kSymmetry);
+  const BatchRunner runner({.threads = 2, .seed = 31337});
+  const auto via_state = runner.sample_shots(state, 300, iters);
+  const auto via_backend = runner.sample_shots(*backend, 300, iters);
+  EXPECT_EQ(via_state.mode, 200u);
+  EXPECT_EQ(via_backend.mode, 200u);
+  EXPECT_GT(via_state.mode_frequency, 0.95);
+  EXPECT_GT(via_backend.mode_frequency, 0.95);
+}
+
+TEST(SimulatorBackendTest, SymmetryBackendShotsMatchDenseMode) {
+  const unsigned n = 8, k = 2;
+  const oracle::Database db = oracle::Database::with_qubits(n, 200);
+  Circuit circuit(n);
+  for (int i = 0; i < 8; ++i) {
+    circuit.grover_iteration();
+  }
+  Simulator dense(6), symmetry(6);
+  symmetry.set_backend(BackendKind::kSymmetry);
+  const auto dense_report = dense.run_block_shots(circuit, db.view(), k, 400);
+  const auto sym_report = symmetry.run_block_shots(circuit, db.view(), k, 400);
+  EXPECT_EQ(dense_report.mode, 200u >> (n - k));
+  EXPECT_EQ(sym_report.mode, dense_report.mode);
+  EXPECT_EQ(sym_report.shots, 400u);
+}
+
+TEST(SimulatorBackendTest, SymmetryRejectsGateLevelCircuits) {
+  const oracle::Database db = oracle::Database::with_qubits(5, 3);
+  Circuit circuit(5);
+  circuit.oracle();
+  circuit.global_diffusion_gate_level();
+  Simulator sim(1);
+  sim.set_backend(BackendKind::kSymmetry);
+  EXPECT_THROW(sim.run_shots(circuit, db.view(), 10), CheckFailure);
+}
+
+TEST(SimulatorBackendTest, RunStateRejectsSymmetry) {
+  const oracle::Database db = oracle::Database::with_qubits(5, 3);
+  const auto circuit = make_grover_circuit(5, 2);
+  Simulator sim(1);
+  sim.set_backend(BackendKind::kSymmetry);
+  EXPECT_THROW(sim.run_state(circuit, db.view()), CheckFailure);
+}
+
+TEST(SimulatorBackendTest, NoiseRequiresDenseBackend) {
+  const oracle::Database db = oracle::Database::with_qubits(5, 3);
+  const auto circuit = make_grover_circuit(5, 2);
+  Simulator sim(1);
+  sim.set_backend(BackendKind::kSymmetry);
+  sim.set_noise({NoiseKind::kDepolarizing, 0.05});
+  EXPECT_THROW(sim.run_shots(circuit, db.view(), 10), CheckFailure);
+}
+
+TEST(SimulatorBackendTest, BatchThreadCountDoesNotChangeResults) {
+  const oracle::Database db = oracle::Database::with_qubits(7, 100);
+  const auto circuit = make_grover_circuit(7, 6);
+  Simulator one(42), many(42);
+  one.set_batch({.threads = 1});
+  many.set_batch({.threads = 8});
+  const auto ra = one.run_shots(circuit, db.view(), 300);
+  const auto rb = many.run_shots(circuit, db.view(), 300);
+  EXPECT_EQ(ra.counts, rb.counts);
+}
+
+TEST(SimulatorBackendTest, NoisyTrajectoriesAreSeedReproducible) {
+  const oracle::Database db = oracle::Database::with_qubits(6, 20);
+  const auto circuit = make_grover_circuit(6, 4);
+  Simulator a(9), b(9);
+  a.set_noise({NoiseKind::kDepolarizing, 0.05});
+  b.set_noise({NoiseKind::kDepolarizing, 0.05});
+  EXPECT_EQ(a.run_shots(circuit, db.view(), 100).counts,
+            b.run_shots(circuit, db.view(), 100).counts);
+}
+
+}  // namespace
+}  // namespace pqs::qsim
