@@ -10,19 +10,21 @@
 #include "common/table.h"
 #include "grover/exact.h"
 #include "partial/twelve.h"
+#include "qsim/flags.h"
 
 int main(int argc, char** argv) {
   using namespace pqs;
   Cli cli(argc, argv);
   const auto target = static_cast<qsim::Index>(
       cli.get_int("target", 7, "marked address in [0, 12)"));
+  const auto engine = qsim::parse_engine_flags(cli);
   if (cli.help_requested()) {
     std::cout << cli.help();
     return 0;
   }
   cli.finish();
 
-  const auto trace = partial::run_figure1(target);
+  const auto trace = partial::run_figure1(target, engine.backend);
   std::cout << "F1 - Figure 1: partial quantum search in a database of "
                "twelve items (target = "
             << target << ")\n\n"
@@ -43,7 +45,8 @@ int main(int argc, char** argv) {
     std::cout << "  N = " << inst.n_items << ", K = " << inst.k_blocks
               << "  -> block probability "
               << Table::num(partial::two_query_block_probability(
-                                inst.n_items, inst.k_blocks, 0),
+                                inst.n_items, inst.k_blocks, 0,
+                                engine.backend),
                             9)
               << "\n";
   }

@@ -15,12 +15,14 @@
 #include "common/table.h"
 #include "grover/grover.h"
 #include "oracle/database.h"
+#include "qsim/flags.h"
 
 int main(int argc, char** argv) {
   using namespace pqs;
   Cli cli(argc, argv);
   const auto n = static_cast<unsigned>(
       cli.get_int("qubits", 12, "address qubits"));
+  const auto engine = qsim::parse_engine_flags(cli);
   if (cli.help_requested()) {
     std::cout << cli.help();
     return 0;
@@ -41,8 +43,8 @@ int main(int argc, char** argv) {
   for (std::uint64_t m = 0; m <= m_star; m += m_star / 10) {
     const double closed = kHalfPi - grover::angle_after(n_items, m);
     db.reset_queries();
-    const auto state = grover::evolve(db, m);
-    const double a_t = state.amplitude(1).real();
+    const auto backend = grover::evolve_on_backend(db, m, engine.backend);
+    const double a_t = backend->amplitudes_copy()[1].real();
     const double measured = std::acos(std::clamp(a_t, -1.0, 1.0));
     table.add_row({Table::num(m), Table::num(closed, 4),
                    Table::num(measured, 4), Table::num(a_t, 4),

@@ -12,8 +12,10 @@
 #include "common/math.h"
 #include "common/table.h"
 #include "common/timing.h"
+#include "oracle/database.h"
 #include "partial/interleave.h"
 #include "partial/optimizer.h"
+#include "qsim/flags.h"
 
 int main(int argc, char** argv) {
   using namespace pqs;
@@ -22,6 +24,7 @@ int main(int argc, char** argv) {
       cli.get_int("qubits", 12, "address qubits"));
   const auto max_segments = static_cast<unsigned>(
       cli.get_int("max-segments", 4, "largest schedule arity to search"));
+  const auto engine = qsim::parse_engine_flags(cli);
   if (cli.help_requested()) {
     std::cout << cli.help();
     return 0;
@@ -35,20 +38,33 @@ int main(int argc, char** argv) {
 
   for (const std::uint64_t k : {2u, 4u, 8u}) {
     const double floor_p = partial::default_min_success(n_items);
-    Table table({"segments allowed", "best schedule", "queries", "success"});
+    Table table({"segments allowed", "best schedule", "queries", "success",
+                 "success (engine)"});
     table.set_title("K = " + std::to_string(k));
+    const oracle::Database db =
+        oracle::Database::with_qubits(n, n_items / 2 + 3);
     for (unsigned segs = 1; segs <= max_segments; ++segs) {
       const auto opt =
           partial::optimize_interleaved(n_items, k, floor_p, segs);
+      const double engine_success = partial::run_schedule_on_backend(
+          db, log2_exact(k), opt.schedule, engine.backend);
       table.add_row({Table::num(std::uint64_t{segs}),
                      opt.schedule.to_string() + " +step3",
-                     Table::num(opt.queries), Table::num(opt.success, 5)});
+                     Table::num(opt.queries), Table::num(opt.success, 5),
+                     Table::num(engine_success, 5)});
     }
     const auto paper = partial::optimize_integer(n_items, k, floor_p);
+    const partial::Schedule paper_schedule{
+        {partial::ScheduleSegment{/*global=*/true, paper.l1},
+         partial::ScheduleSegment{/*global=*/false, paper.l2}}};
     table.add_row({"paper shape (G^l1 L^l2)",
                    "G^" + std::to_string(paper.l1) + " L^" +
                        std::to_string(paper.l2) + " +step3",
-                   Table::num(paper.queries), Table::num(paper.success, 5)});
+                   Table::num(paper.queries), Table::num(paper.success, 5),
+                   Table::num(partial::run_schedule_on_backend(
+                                  db, log2_exact(k), paper_schedule,
+                                  engine.backend),
+                              5)});
     std::cout << table.render() << "\n";
   }
   std::cout << "elapsed: " << timer.human() << "\n";

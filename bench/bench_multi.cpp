@@ -9,6 +9,7 @@
 #include "common/table.h"
 #include "partial/multi.h"
 #include "partial/optimizer.h"
+#include "qsim/flags.h"
 
 int main(int argc, char** argv) {
   using namespace pqs;
@@ -17,6 +18,7 @@ int main(int argc, char** argv) {
       cli.get_int("qubits", 12, "address qubits"));
   const auto k = static_cast<unsigned>(
       cli.get_int("kbits", 2, "block bits"));
+  const auto engine = qsim::parse_engine_flags(cli);
   if (cli.help_requested()) {
     std::cout << cli.help();
     return 0;
@@ -36,7 +38,9 @@ int main(int argc, char** argv) {
       marked.push_back((qsim::Index{1} << (n - k)) + 3 * i);  // block 1
     }
     const oracle::MarkedDatabase db(n_items, marked);
-    const auto run = partial::run_partial_search_multi(db, k, rng);
+    partial::MultiGrkOptions options;
+    options.backend = engine.backend;
+    const auto run = partial::run_partial_search_multi(db, k, rng, options);
     const auto opt = partial::optimize_integer(
         n_items, pow2(k), partial::default_min_success(n_items), m);
     table.add_row(

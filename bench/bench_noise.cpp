@@ -1,14 +1,29 @@
 // Ablation: robustness of partial search to oracle noise.
 //
-// Per-query depolarizing noise hits the fewer-query algorithm less often:
-// at equal physical error rates, partial search answers its (coarser)
-// question more reliably than full search answers the same block question.
+// Per-query noise hits the fewer-query algorithm less often: at equal
+// physical error rates, partial search answers its (coarser) question more
+// reliably than full search answers the same block question.
+//
+//   ./build/bench/bench_noise --qubits 10 --trials 400
+//   ./build/bench/bench_noise --qubits 32 --backend symmetry --trials 2000
+//   ./build/bench/bench_noise --noise dephasing --noise-p 0.01
+//
+// --backend symmetry runs the class-moment noise channel (qsim/backend.h),
+// which is what makes n > 30 sweeps possible; --batch fans the Monte-Carlo
+// trials across OpenMP threads with per-shot RNG streams (reproducible for
+// any thread count). --noise-p, when nonzero, replaces the default sweep
+// with that single error rate.
 #include <iostream>
+#include <vector>
+
+#include <cmath>
 
 #include "common/cli.h"
 #include "common/table.h"
 #include "oracle/database.h"
 #include "partial/noisy.h"
+#include "partial/optimizer.h"
+#include "qsim/flags.h"
 
 int main(int argc, char** argv) {
   using namespace pqs;
@@ -19,6 +34,7 @@ int main(int argc, char** argv) {
       cli.get_int("kbits", 2, "block bits"));
   const auto trials = static_cast<std::uint64_t>(
       cli.get_int("trials", 200, "trajectories per point"));
+  const auto engine = qsim::parse_engine_flags_with_noise(cli);
   if (cli.help_requested()) {
     std::cout << cli.help();
     return 0;
@@ -28,25 +44,44 @@ int main(int argc, char** argv) {
   const oracle::Database db =
       oracle::Database::with_qubits(n, (std::uint64_t{1} << n) / 2 + 5);
   Rng rng(1234);
+  partial::NoisyOptions options;
+  options.backend = engine.backend;
+  options.batch = engine.batch;
+  // One schedule for the whole sweep, size-aware (exact integer optimum at
+  // small n, asymptotic geometry past 2^24 items), paid for once.
+  const auto schedule = partial::optimize_schedule(
+      db.size(), std::uint64_t{1} << k,
+      1.0 - 1.0 / std::sqrt(static_cast<double>(db.size())));
+  options.l1 = schedule.l1;
+  options.l2 = schedule.l2;
 
-  std::cout << "ablation - per-query depolarizing noise, block-question "
-               "success (N = 2^" << n << ", K = 2^" << k << ", " << trials
-            << " trajectories/point)\n\n";
+  std::cout << "ablation - per-query " << qsim::noise_kind_name(engine.noise.kind)
+            << " noise, block-question success (N = 2^" << n << ", K = 2^"
+            << k << ", " << trials << " trajectories/point)\n\n";
+
+  std::vector<double> rates{0.0, 0.001, 0.003, 0.01, 0.03, 0.1};
+  if (engine.noise.probability > 0.0) {
+    rates = {0.0, engine.noise.probability};
+  } else if (engine.noise.kind == qsim::NoiseKind::kNone) {
+    rates = {0.0};  // clean baseline only: no channel means no noisy rows
+  }
 
   Table table({"per-qubit error rate", "partial success", "partial queries",
                "full-search success", "full queries",
-               "mean injected (partial)"});
-  for (const double p : {0.0, 0.001, 0.003, 0.01, 0.03, 0.1}) {
-    const qsim::NoiseModel model{qsim::NoiseKind::kDepolarizing, p};
+               "mean injected (partial)", "engine"});
+  for (const double p : rates) {
+    const qsim::NoiseModel model{engine.noise.kind, p};
     const auto part =
-        partial::run_noisy_partial_search(db, k, model, trials, rng);
-    const auto full =
-        partial::run_noisy_full_search_block(db, k, model, trials, rng);
+        partial::run_noisy_partial_search(db, k, model, trials, rng, options);
+    const auto full = partial::run_noisy_full_search_block(db, k, model,
+                                                           trials, rng,
+                                                           options);
     table.add_row({Table::num(p, 4), Table::num(part.success_rate, 3),
                    Table::num(part.queries_per_trial),
                    Table::num(full.success_rate, 3),
                    Table::num(full.queries_per_trial),
-                   Table::num(part.mean_injected, 2)});
+                   Table::num(part.mean_injected, 2),
+                   qsim::to_string(part.backend_used)});
   }
   std::cout << table.render();
   std::cout << "\nreading: both decay toward the 1/K guess rate at "

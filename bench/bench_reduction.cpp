@@ -13,6 +13,7 @@
 #include "oracle/database.h"
 #include "partial/bounds.h"
 #include "partial/certainty.h"
+#include "qsim/flags.h"
 #include "reduction/reduction.h"
 
 int main(int argc, char** argv) {
@@ -20,11 +21,14 @@ int main(int argc, char** argv) {
   Cli cli(argc, argv);
   const auto n = static_cast<unsigned>(
       cli.get_int("qubits", 16, "address qubits"));
+  const auto engine = qsim::parse_engine_flags(cli);
   if (cli.help_requested()) {
     std::cout << cli.help();
     return 0;
   }
   cli.finish();
+  reduction::ReductionOptions reduction_options;
+  reduction_options.backend = engine.backend;
 
   const std::uint64_t n_items = pow2(n);
   const double sqrt_n = std::sqrt(static_cast<double>(n_items));
@@ -39,7 +43,8 @@ int main(int argc, char** argv) {
   for (const unsigned k : {1u, 2u, 3u, 4u}) {
     const oracle::Database db =
         oracle::Database::with_qubits(n, n_items / 3);
-    const auto result = reduction::search_full_via_partial(db, k, rng);
+    const auto result =
+        reduction::search_full_via_partial(db, k, rng, reduction_options);
 
     const auto top = partial::certainty_schedule(n_items, pow2(k));
     const double top_coeff = static_cast<double>(top.queries) / sqrt_n;
@@ -58,7 +63,8 @@ int main(int argc, char** argv) {
   // Per-level breakdown for one run.
   Rng rng2(778);
   const oracle::Database db = oracle::Database::with_qubits(n, 12345 % n_items);
-  const auto run = reduction::search_full_via_partial(db, 2, rng2);
+  const auto run =
+      reduction::search_full_via_partial(db, 2, rng2, reduction_options);
   Table levels({"level", "db size", "bits fixed", "queries", "method"});
   levels.set_title("\nper-level breakdown (k = 2): each level costs ~1/sqrt(K) "
                    "of the previous");

@@ -15,6 +15,7 @@
 #include "common/table.h"
 #include "common/timing.h"
 #include "grover/grover.h"
+#include "qsim/flags.h"
 #include "zalka/zalka.h"
 
 int main(int argc, char** argv) {
@@ -22,6 +23,9 @@ int main(int argc, char** argv) {
   Cli cli(argc, argv);
   const auto max_n = static_cast<unsigned>(
       cli.get_int("max-qubits", 9, "largest n to analyze"));
+  // The hybrid argument manipulates full amplitude vectors; --backend
+  // symmetry is rejected loudly by analyze_grover, never silently ignored.
+  const auto engine = qsim::parse_engine_flags(cli);
   if (cli.help_requested()) {
     std::cout << cli.help();
     return 0;
@@ -38,6 +42,7 @@ int main(int argc, char** argv) {
   for (unsigned n = 4; n <= max_n; ++n) {
     const auto t = grover::optimal_iterations(pow2(n));
     zalka::ZalkaOptions options;
+    options.backend = engine.backend;
     options.lemma2_sample = 8;
     const auto report = zalka::analyze_grover(n, t, options);
     table.add_row(

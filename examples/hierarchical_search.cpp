@@ -12,6 +12,7 @@
 #include "common/random.h"
 #include "common/table.h"
 #include "oracle/database.h"
+#include "qsim/flags.h"
 #include "reduction/reduction.h"
 
 int main(int argc, char** argv) {
@@ -23,6 +24,7 @@ int main(int argc, char** argv) {
       cli.get_int("kbits", 2, "bits fixed per level"));
   const auto target = static_cast<qsim::Index>(
       cli.get_int("target", 11213, "marked address"));
+  const auto engine = qsim::parse_engine_flags(cli);
   if (cli.help_requested()) {
     std::cout << cli.help();
     return 0;
@@ -37,7 +39,9 @@ int main(int argc, char** argv) {
   std::cout << "hierarchical search of N = " << n_items << " addresses, "
             << k << " bit(s) per level\n\n";
 
-  const auto result = reduction::search_full_via_partial(db, k, rng);
+  reduction::ReductionOptions options;
+  options.backend = engine.backend;
+  const auto result = reduction::search_full_via_partial(db, k, rng, options);
 
   Table table({"level", "sub-database", "bits fixed", "queries", "method"});
   for (const auto& level : result.levels) {

@@ -12,14 +12,23 @@
 // rank would have cost.
 #include <iostream>
 
+#include "common/cli.h"
 #include "common/random.h"
 #include "grover/exact.h"
 #include "grover/grover.h"
 #include "oracle/merit_list.h"
 #include "partial/certainty.h"
+#include "qsim/flags.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pqs;
+  Cli cli(argc, argv);
+  const auto engine = qsim::parse_engine_flags(cli);
+  if (cli.help_requested()) {
+    std::cout << cli.help();
+    return 0;
+  }
+  cli.finish();
 
   constexpr std::uint64_t kStudents = 1024;
   const oracle::MeritList list(kStudents, /*seed=*/2005);
@@ -32,7 +41,8 @@ int main() {
 
   // Quartile = first two bits of the rank -> partial search with k = 2.
   const oracle::Database db = list.database_for(student);
-  const auto result = partial::run_partial_search_certain(db, /*k=*/2, rng);
+  const auto result =
+      partial::run_partial_search_certain(db, /*k=*/2, rng, engine.backend);
   std::cout << "quartile answer:  " << student << " is in the "
             << oracle::MeritList::fraction_label(result.measured_block, 4)
             << "\n";
@@ -41,7 +51,8 @@ int main() {
 
   // What the full rank would cost.
   const oracle::Database db_full = list.database_for(student);
-  const auto full = grover::search_exact(db_full, rng);
+  const auto full =
+      grover::search_exact(db_full, rng, {.backend = engine.backend});
   std::cout << "full rank:        " << full.measured << " (exact), costing "
             << db_full.queries() << " queries\n\n";
 
@@ -51,7 +62,8 @@ int main() {
 
   // Finer bands: first three bits = which eighth of the class.
   const oracle::Database db8 = list.database_for(student);
-  const auto eighth = partial::run_partial_search_certain(db8, /*k=*/3, rng);
+  const auto eighth =
+      partial::run_partial_search_certain(db8, /*k=*/3, rng, engine.backend);
   std::cout << "\nfiner answer:     the "
             << oracle::MeritList::fraction_label(eighth.measured_block, 8)
             << " cost " << db8.queries()

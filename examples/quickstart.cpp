@@ -8,16 +8,26 @@
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
 //   ./build/examples/quickstart
+//   ./build/examples/quickstart --backend symmetry   # same run, O(K) engine
 #include <iostream>
 
+#include "common/cli.h"
 #include "common/random.h"
 #include "grover/grover.h"
 #include "oracle/database.h"
 #include "partial/certainty.h"
 #include "partial/grk.h"
+#include "qsim/flags.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pqs;
+  Cli cli(argc, argv);
+  const auto engine = qsim::parse_engine_flags(cli);
+  if (cli.help_requested()) {
+    std::cout << cli.help();
+    return 0;
+  }
+  cli.finish();
 
   // A database of N = 2^12 items with one marked address. The Database
   // counts every oracle query, classical or quantum.
@@ -27,7 +37,7 @@ int main() {
   Rng rng(/*seed=*/1);
 
   // --- 1. Full search -------------------------------------------------
-  const auto full = grover::search(db, rng);
+  const auto full = grover::search(db, rng, {.backend = engine.backend});
   std::cout << "full search:      found address " << full.measured
             << (full.correct ? " (correct)" : " (wrong!)") << " in "
             << full.queries << " queries\n";
@@ -35,7 +45,8 @@ int main() {
   // --- 2. Partial search ----------------------------------------------
   // Only the first k = 2 bits: which quarter of the database is it in?
   db.reset_queries();
-  const auto partial = partial::run_partial_search(db, /*k=*/2, rng, {});
+  const auto partial = partial::run_partial_search(
+      db, /*k=*/2, rng, {.backend = engine.backend});
   std::cout << "partial search:   target is in quarter "
             << partial.measured_block
             << (partial.correct ? " (correct)" : " (wrong!)") << " in "
@@ -44,7 +55,8 @@ int main() {
 
   // --- 3. Sure-success partial search ----------------------------------
   db.reset_queries();
-  const auto certain = partial::run_partial_search_certain(db, /*k=*/2, rng);
+  const auto certain =
+      partial::run_partial_search_certain(db, /*k=*/2, rng, engine.backend);
   std::cout << "sure-success:     target is in quarter "
             << certain.measured_block << " in " << certain.schedule.queries
             << " queries (probability " << certain.block_probability

@@ -2,17 +2,26 @@
 // database in two queries, stage by stage, exactly as drawn in the paper.
 #include <iostream>
 
+#include "common/cli.h"
 #include "partial/twelve.h"
+#include "qsim/flags.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pqs;
+  Cli cli(argc, argv);
+  const auto engine = qsim::parse_engine_flags(cli);
+  if (cli.help_requested()) {
+    std::cout << cli.help();
+    return 0;
+  }
+  cli.finish();
 
   std::cout <<
       "Figure 1 - partial quantum search in a database of twelve items\n"
       "three blocks of four; we only want to know WHICH THIRD holds the "
       "target.\n\n";
 
-  const auto trace = partial::run_figure1(/*target=*/7);
+  const auto trace = partial::run_figure1(/*target=*/7, engine.backend);
   std::cout << trace.render();
 
   std::cout << "queries used:          " << trace.queries << "\n"

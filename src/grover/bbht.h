@@ -5,6 +5,12 @@
 // for standard search; the reduction in Theorem 2 also ends with a search
 // over a small residual set, for which the unknown-M algorithm is the
 // textbook tool. Expected cost O(sqrt(N/M)) queries when M items are marked.
+//
+// The generate-and-test rounds run on a qsim::Backend (BbhtOptions::backend):
+// K = 1 with the database's marked set, so the symmetry engine applies to
+// ANY marked set — the whole database is one block — and huge-N runs are
+// exact and cheap. Independent restarts (the Monte-Carlo estimator of the
+// expected query count) fan across OpenMP threads via search_unknown_batch.
 #pragma once
 
 #include <cstdint>
@@ -12,7 +18,8 @@
 
 #include "common/random.h"
 #include "oracle/marked_set.h"
-#include "qsim/state_vector.h"
+#include "qsim/backend.h"
+#include "qsim/batch.h"
 
 namespace pqs::grover {
 
@@ -30,6 +37,9 @@ struct BbhtOptions {
   /// Give up after this many oracle queries (the algorithm cannot detect
   /// M = 0 on its own). 0 means use the BBHT default of 9 sqrt(N).
   std::uint64_t max_queries = 0;
+  /// Simulation engine for the Grover rounds (kAuto: dense while the state
+  /// fits in memory, symmetry beyond).
+  qsim::BackendKind backend = qsim::BackendKind::kAuto;
 };
 
 /// Run the BBHT loop: pick j uniform in [0, ceil(m)), apply j Grover
@@ -37,6 +47,24 @@ struct BbhtOptions {
 /// lambda (capped at sqrt(N)) and repeat.
 BbhtResult search_unknown(const oracle::MarkedDatabase& db, Rng& rng,
                           const BbhtOptions& options = {});
+
+/// Aggregate of many independent BBHT runs (the Monte-Carlo estimator of
+/// the expected query count).
+struct BbhtBatchReport {
+  std::uint64_t shots = 0;
+  std::uint64_t found = 0;       ///< shots that returned a marked address
+  double mean_queries = 0.0;     ///< average queries per shot
+  double mean_rounds = 0.0;      ///< average generate-and-test rounds
+};
+
+/// Fan `shots` independent search_unknown runs across OpenMP threads with
+/// per-shot RNG streams (deterministic in batch.seed for any thread count).
+/// Each shot owns its backend and query counter; the database meter advances
+/// by the batch total once the fan-out completes.
+BbhtBatchReport search_unknown_batch(const oracle::MarkedDatabase& db,
+                                     std::uint64_t shots,
+                                     const BbhtOptions& options = {},
+                                     const qsim::BatchOptions& batch = {});
 
 /// Expected query count ~ (per BBHT Theorem 3) at most 9/2 sqrt(N/M) for
 /// M >= 1 marked items; exposed for the tests that check the measured mean.

@@ -60,30 +60,41 @@ std::uint64_t exact_query_count(std::uint64_t n_items) {
   return sched.plain_iterations + (sched.final_step_needed ? 1 : 0);
 }
 
+std::unique_ptr<qsim::Backend> evolve_exact_on_backend(
+    const oracle::Database& db, qsim::BackendKind kind) {
+  const auto sched = exact_schedule(db.size());
+  // Full search is the K = 1 case of the block structure.
+  auto backend = qsim::make_backend(
+      kind, qsim::BackendSpec::single_target(db.size(), 1, db.target()));
+  for (std::uint64_t i = 0; i < sched.plain_iterations; ++i) {
+    db.add_queries(1);
+    backend->apply_oracle();            // It
+    backend->apply_global_diffusion();  // I0
+  }
+  if (sched.final_step_needed) {
+    db.add_queries(1);
+    backend->apply_oracle_phase(sched.oracle_phase);       // O(phi)
+    backend->apply_global_rotation(sched.diffusion_phase); // D(chi)
+  }
+  return backend;
+}
+
 qsim::StateVector evolve_exact(const oracle::Database& db) {
   PQS_CHECK_MSG(is_pow2(db.size()),
                 "state-vector evolution needs a power-of-two database");
-  const unsigned n = log2_exact(db.size());
-  const auto sched = exact_schedule(db.size());
-
-  auto state = qsim::StateVector::uniform(n);
-  for (std::uint64_t i = 0; i < sched.plain_iterations; ++i) {
-    db.apply_phase_oracle(state);
-    state.reflect_about_uniform();
-  }
-  if (sched.final_step_needed) {
-    db.apply_phase_oracle(state, sched.oracle_phase);
-    state.rotate_blocks_about_uniform(0, sched.diffusion_phase);
-  }
-  return state;
+  const auto backend =
+      evolve_exact_on_backend(db, qsim::BackendKind::kDense);
+  return qsim::StateVector::from_amplitudes(backend->amplitudes_copy());
 }
 
-SearchResult search_exact(const oracle::Database& db, Rng& rng) {
+SearchResult search_exact(const oracle::Database& db, Rng& rng,
+                          const SearchOptions& options) {
   const std::uint64_t before = db.queries();
-  const auto state = evolve_exact(db);
+  const auto backend = evolve_exact_on_backend(db, options.backend);
   SearchResult result;
-  result.success_probability = state.probability(db.target());
-  result.measured = state.sample(rng);
+  result.backend_used = backend->kind();
+  result.success_probability = backend->marked_probability();
+  result.measured = backend->sample(rng);
   result.correct = result.measured == db.target();
   result.queries = db.queries() - before;
   return result;

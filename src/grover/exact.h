@@ -24,10 +24,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "common/random.h"
 #include "grover/grover.h"
 #include "oracle/database.h"
+#include "qsim/backend.h"
 #include "qsim/state_vector.h"
 
 namespace pqs::grover {
@@ -48,12 +50,21 @@ ExactSchedule exact_schedule(std::uint64_t n_items);
 /// final generalized step is needed).
 std::uint64_t exact_query_count(std::uint64_t n_items);
 
+/// Engine-agnostic evolution through the sure-success schedule: the final
+/// generalized iteration D(chi) . O(phi) maps onto the backend's
+/// oracle-phase and global-rotation hooks, so both engines apply (the
+/// symmetry engine runs it as the K = 1 block case at any n up to 62).
+std::unique_ptr<qsim::Backend> evolve_exact_on_backend(
+    const oracle::Database& db, qsim::BackendKind kind);
+
 /// Evolve |psi0> through the sure-success schedule. The returned state has
-/// |<t|state>| = 1 up to numerical error.
+/// |<t|state>| = 1 up to numerical error. (Dense by definition; see
+/// evolve_exact_on_backend for the engine-agnostic form.)
 qsim::StateVector evolve_exact(const oracle::Database& db);
 
-/// Full pipeline: evolve_exact + measurement. `correct` is always true
-/// (up to the ~1e-12 simulation roundoff).
-SearchResult search_exact(const oracle::Database& db, Rng& rng);
+/// Full pipeline: evolve + measurement on the chosen engine. `correct` is
+/// always true (up to the ~1e-12 simulation roundoff).
+SearchResult search_exact(const oracle::Database& db, Rng& rng,
+                          const SearchOptions& options = {});
 
 }  // namespace pqs::grover

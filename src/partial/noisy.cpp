@@ -1,6 +1,8 @@
 #include "partial/noisy.h"
 
 #include <cmath>
+#include <functional>
+#include <vector>
 
 #include "common/check.h"
 #include "common/math.h"
@@ -8,43 +10,58 @@
 
 namespace pqs::partial {
 
-NoisyRunResult run_noisy_partial_search(const oracle::Database& db, unsigned k,
-                                        const qsim::NoiseModel& model,
-                                        std::uint64_t trials, Rng& rng) {
-  PQS_CHECK_MSG(is_pow2(db.size()), "state-vector run needs N = 2^n");
-  PQS_CHECK(trials > 0);
-  const unsigned n = log2_exact(db.size());
-  PQS_CHECK_MSG(k >= 1 && k < n, "need 1 <= k < n");
+namespace {
 
-  // Tight floor (error 1/sqrt N): the comparison against full search is
-  // only meaningful when both start from a near-1 clean baseline.
-  const auto opt = optimize_integer(
-      db.size(), pow2(k),
-      1.0 - 1.0 / std::sqrt(static_cast<double>(db.size())));
-  const qsim::Index target_block = db.target() >> (n - k);
+/// Shared trial harness: validate everything ONCE (model bounds, engine
+/// support — a throw inside the OpenMP region would terminate the process),
+/// fan the trials across threads with per-shot RNG streams, and settle the
+/// database meter with the exact per-trial query count afterwards.
+///
+/// `trial` runs one trajectory on a fresh backend with this shot's rng,
+/// tallies injected errors and oracle queries into its out-params, and
+/// returns the measured block.
+NoisyRunResult run_trials(
+    const oracle::Database& db, const qsim::BackendSpec& spec,
+    const qsim::NoiseModel& model, std::uint64_t trials, Rng& rng,
+    const NoisyOptions& options, std::string_view what,
+    const std::function<qsim::Index(qsim::Backend&, Rng&, std::uint64_t&,
+                                    std::uint64_t&)>& trial) {
+  PQS_CHECK_MSG(trials > 0, "need at least one trial");
+  model.validate();  // once at entry; the per-trial hot loop is check-free
+  const qsim::BackendKind resolved =
+      qsim::resolve_backend(options.backend, spec);
+  if (model.enabled()) {
+    qsim::require_noise_support(resolved, spec, what);
+  }
+
+  qsim::BatchOptions batch = options.batch;
+  batch.seed = rng.next();  // one draw per run: the caller's seed rules
+  const qsim::BatchRunner runner(batch);
+
+  const qsim::Index target_block =
+      spec.marked.front() / (spec.n_items / spec.n_blocks);
+  std::vector<std::uint64_t> injected(trials);
+  std::vector<std::uint64_t> queries(trials);
+  const auto outcomes = runner.map_shots(
+      trials, [&](std::uint64_t shot, Rng& shot_rng) -> qsim::Index {
+        auto backend = qsim::make_backend(resolved, spec);
+        return trial(*backend, shot_rng, injected[shot], queries[shot]);
+      });
 
   NoisyRunResult result;
   result.trials = trials;
-  result.queries_per_trial = opt.queries;
+  result.backend_used = resolved;
+  result.queries_per_trial = queries.front();
   std::uint64_t correct = 0;
   std::uint64_t injected_total = 0;
   for (std::uint64_t t = 0; t < trials; ++t) {
-    auto state = qsim::StateVector::uniform(n);
-    for (std::uint64_t i = 0; i < opt.l1; ++i) {
-      db.apply_phase_oracle(state);
-      injected_total += qsim::apply_noise(state, model, rng);
-      state.reflect_about_uniform();
-    }
-    for (std::uint64_t i = 0; i < opt.l2; ++i) {
-      db.apply_phase_oracle(state);
-      injected_total += qsim::apply_noise(state, model, rng);
-      state.reflect_blocks_about_uniform(k);
-    }
-    db.add_queries(1);
-    injected_total += qsim::apply_noise(state, model, rng);
-    state.reflect_non_target_about_their_mean(db.target());
-    correct += state.sample_block(k, rng) == target_block ? 1 : 0;
+    // Every trial runs the same schedule; the meter below is exact only
+    // because this holds.
+    PQS_CHECK(queries[t] == result.queries_per_trial);
+    correct += outcomes[t] == target_block ? 1 : 0;
+    injected_total += injected[t];
   }
+  db.add_queries(trials * result.queries_per_trial);
   result.success_rate =
       static_cast<double>(correct) / static_cast<double>(trials);
   result.mean_injected =
@@ -52,35 +69,91 @@ NoisyRunResult run_noisy_partial_search(const oracle::Database& db, unsigned k,
   return result;
 }
 
+}  // namespace
+
+NoisyRunResult run_noisy_partial_search(const oracle::Database& db, unsigned k,
+                                        const qsim::NoiseModel& model,
+                                        std::uint64_t trials, Rng& rng,
+                                        const NoisyOptions& options) {
+  PQS_CHECK_MSG(is_pow2(db.size()), "noisy partial search needs N = 2^n");
+  const unsigned n = log2_exact(db.size());
+  PQS_CHECK_MSG(k >= 1 && k < n, "need 1 <= k < n");
+  const auto spec =
+      qsim::BackendSpec::single_target(db.size(), pow2(k), db.target());
+  // Reject unsupported engine/model combinations BEFORE paying for the
+  // schedule optimizer (which is expensive at large N).
+  model.validate();
+  if (model.enabled()) {
+    qsim::require_noise_support(qsim::resolve_backend(options.backend, spec),
+                                spec, "noisy partial search");
+  }
+
+  struct Schedule {
+    std::uint64_t l1, l2;
+  } opt{};
+  if (options.l1.has_value() && options.l2.has_value()) {
+    opt = {*options.l1, *options.l2};
+  } else {
+    // Tight floor (error 1/sqrt N): the comparison against full search is
+    // only meaningful when both start from a near-1 clean baseline.
+    // optimize_schedule keeps this affordable past the exact integer
+    // scan's range (the asymptotic geometry takes over above 2^24 items).
+    const auto schedule = optimize_schedule(
+        db.size(), pow2(k),
+        1.0 - 1.0 / std::sqrt(static_cast<double>(db.size())));
+    opt = {options.l1.value_or(schedule.l1),
+           options.l2.value_or(schedule.l2)};
+  }
+
+  return run_trials(
+      db, spec, model, trials, rng, options, "noisy partial search",
+      [&](qsim::Backend& backend, Rng& shot_rng, std::uint64_t& injected,
+          std::uint64_t& queries) {
+        for (std::uint64_t i = 0; i < opt.l1; ++i) {
+          ++queries;
+          backend.apply_oracle();
+          injected += backend.apply_noise(model, shot_rng);
+          backend.apply_global_diffusion();
+        }
+        for (std::uint64_t i = 0; i < opt.l2; ++i) {
+          ++queries;
+          backend.apply_oracle();
+          injected += backend.apply_noise(model, shot_rng);
+          backend.apply_block_diffusion();
+        }
+        ++queries;  // Step 3's single oracle query
+        injected += backend.apply_noise(model, shot_rng);
+        backend.apply_step3();
+        return backend.sample_block(shot_rng);
+      });
+}
+
 NoisyRunResult run_noisy_full_search_block(const oracle::Database& db,
                                            unsigned k,
                                            const qsim::NoiseModel& model,
-                                           std::uint64_t trials, Rng& rng) {
-  PQS_CHECK_MSG(is_pow2(db.size()), "state-vector run needs N = 2^n");
-  PQS_CHECK(trials > 0);
+                                           std::uint64_t trials, Rng& rng,
+                                           const NoisyOptions& options) {
+  PQS_CHECK_MSG(is_pow2(db.size()), "noisy full search needs N = 2^n");
   const unsigned n = log2_exact(db.size());
+  PQS_CHECK_MSG(k >= 1 && k < n, "need 1 <= k < n");
   const auto iterations = grover_optimal_iterations(db.size());
-  const qsim::Index target_block = db.target() >> (n - k);
+  // The block structure only shapes the final measurement (and the noise
+  // channel's block/address bit split); the dynamics are plain Grover.
+  const auto spec =
+      qsim::BackendSpec::single_target(db.size(), pow2(k), db.target());
 
-  NoisyRunResult result;
-  result.trials = trials;
-  result.queries_per_trial = iterations;
-  std::uint64_t correct = 0;
-  std::uint64_t injected_total = 0;
-  for (std::uint64_t t = 0; t < trials; ++t) {
-    auto state = qsim::StateVector::uniform(n);
-    for (std::uint64_t i = 0; i < iterations; ++i) {
-      db.apply_phase_oracle(state);
-      injected_total += qsim::apply_noise(state, model, rng);
-      state.reflect_about_uniform();
-    }
-    correct += (state.sample(rng) >> (n - k)) == target_block ? 1 : 0;
-  }
-  result.success_rate =
-      static_cast<double>(correct) / static_cast<double>(trials);
-  result.mean_injected =
-      static_cast<double>(injected_total) / static_cast<double>(trials);
-  return result;
+  return run_trials(
+      db, spec, model, trials, rng, options, "noisy full search",
+      [&](qsim::Backend& backend, Rng& shot_rng, std::uint64_t& injected,
+          std::uint64_t& queries) {
+        for (std::uint64_t i = 0; i < iterations; ++i) {
+          ++queries;
+          backend.apply_oracle();
+          injected += backend.apply_noise(model, shot_rng);
+          backend.apply_global_diffusion();
+        }
+        return backend.sample_block(shot_rng);
+      });
 }
 
 }  // namespace pqs::partial

@@ -6,29 +6,62 @@
 // per-qubit error rate, for both partial search and full Grover search:
 // partial search makes FEWER queries, so for equal per-query noise it
 // retains its answer quality longer, compounding its advantage.
+//
+// Trajectories run on qsim::Backend (NoisyOptions::backend): the dense
+// engine samples exact Pauli trajectories, the symmetry engine evolves
+// per-class noise moments (see qsim/backend.h), which pushes noise sweeps
+// past the 30-qubit dense ceiling. Trials fan across OpenMP threads via
+// qsim::BatchRunner with per-shot RNG streams, so results are reproducible
+// for any thread count; each trial counts its queries locally and the
+// database meter advances by exactly trials * queries_per_trial.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 
 #include "common/random.h"
 #include "common/stats.h"
 #include "oracle/database.h"
+#include "qsim/backend.h"
+#include "qsim/batch.h"
 #include "qsim/noise.h"
 
 namespace pqs::partial {
 
+struct NoisyOptions {
+  /// Simulation engine for the trajectories (kAuto: dense while the state
+  /// fits in memory, symmetry beyond). Unsupported combinations fail
+  /// loudly before any trial runs.
+  qsim::BackendKind backend = qsim::BackendKind::kAuto;
+  /// Shot fan-out (thread count). The seed field is ignored: per-shot
+  /// streams derive from the caller's Rng so one seed controls the run.
+  qsim::BatchOptions batch;
+  /// Explicit Step-1/Step-2 iteration counts for the partial searcher.
+  /// When absent, the finite-N integer optimum with floor 1 - 1/sqrt(N) is
+  /// computed — itself an O(sqrt(N) * sqrt(N/K)) model search, so sweeps
+  /// over huge databases should compute a schedule once (optimizer.h) and
+  /// pass it here rather than re-deriving it per point.
+  std::optional<std::uint64_t> l1;
+  std::optional<std::uint64_t> l2;
+};
+
 struct NoisyRunResult {
   std::uint64_t trials = 0;
+  /// Oracle queries of one trial, counted by the trial loop itself; the
+  /// database meter advances by exactly trials * queries_per_trial
+  /// (regression-pinned in tests/test_noise).
   std::uint64_t queries_per_trial = 0;
   double success_rate = 0.0;     ///< fraction of trials answering correctly
   double mean_injected = 0.0;    ///< average Pauli errors injected per trial
+  qsim::BackendKind backend_used = qsim::BackendKind::kDense;
 };
 
 /// Partial search (auto-optimized l1/l2, default floor) with `model` noise
 /// after every oracle call; `trials` trajectory samples.
 NoisyRunResult run_noisy_partial_search(const oracle::Database& db, unsigned k,
                                         const qsim::NoiseModel& model,
-                                        std::uint64_t trials, Rng& rng);
+                                        std::uint64_t trials, Rng& rng,
+                                        const NoisyOptions& options = {});
 
 /// Full Grover search under the same noise, measuring the probability that
 /// the measured address lies in the correct block (the same question the
@@ -36,6 +69,7 @@ NoisyRunResult run_noisy_partial_search(const oracle::Database& db, unsigned k,
 NoisyRunResult run_noisy_full_search_block(const oracle::Database& db,
                                            unsigned k,
                                            const qsim::NoiseModel& model,
-                                           std::uint64_t trials, Rng& rng);
+                                           std::uint64_t trials, Rng& rng,
+                                           const NoisyOptions& options = {});
 
 }  // namespace pqs::partial

@@ -62,6 +62,22 @@ IntegerOptimum optimize_integer(std::uint64_t n_items, std::uint64_t k_blocks,
                                 double min_success,
                                 std::uint64_t n_marked = 1);
 
+/// Size-aware schedule choice: the exact integer optimum while its
+/// O(sqrt(N) * sqrt(N/K)) scan stays affordable (n_items <= exact_limit),
+/// the asymptotic optimize_epsilon geometry beyond —
+///   l1 = round((pi/4)(1 - eps*) sqrt(N)),
+///   l2 = round(sqrt(N/K)/2 (theta1 + theta2)),
+/// accurate to O(1) queries at those sizes (success is evaluated on the
+/// exact subspace model either way; the min_success floor is enforced only
+/// on the exact branch — beyond it the asymptotic schedule's success is
+/// reported as-is, ~1 - O(1/sqrt(N))). This is what the noisy Monte-Carlo
+/// drivers use by default: without it, a single n = 32 sweep point would
+/// spend ~20 s inside the integer scan before simulating anything.
+IntegerOptimum optimize_schedule(std::uint64_t n_items,
+                                 std::uint64_t k_blocks, double min_success,
+                                 std::uint64_t exact_limit = std::uint64_t{1}
+                                                             << 24);
+
 /// The success floor used throughout the reproduction when none is given:
 /// 1 - 4/sqrt(N) (the paper's guarantee is 1 - O(1/sqrt(N))).
 double default_min_success(std::uint64_t n_items);

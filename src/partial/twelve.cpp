@@ -1,11 +1,11 @@
 #include "partial/twelve.h"
 
 #include <cmath>
+#include <memory>
 #include <sstream>
 
 #include "common/check.h"
 #include "common/stats.h"
-#include "qsim/kernels.h"
 
 namespace pqs::partial {
 
@@ -22,33 +22,39 @@ std::vector<double> real_parts(const std::vector<Amplitude>& amps) {
   return out;
 }
 
-/// The five-stage pattern on an arbitrary (N, K) database; returns the
-/// per-stage amplitudes.
-std::array<std::vector<double>, Figure1Trace::kStages> run_pattern(
-    std::uint64_t n_items, std::uint64_t k_blocks, Index target) {
+/// The five-stage pattern on an arbitrary (N, K) database, run on the
+/// chosen engine. When `stages` is non-null each stage's amplitudes are
+/// materialized into it (both engines can, for N this small). Returns the
+/// evolved backend for the final observables.
+std::unique_ptr<qsim::Backend> run_pattern(
+    std::uint64_t n_items, std::uint64_t k_blocks, Index target,
+    qsim::BackendKind kind,
+    std::array<std::vector<double>, Figure1Trace::kStages>* stages) {
   PQS_CHECK(k_blocks >= 2 && n_items % k_blocks == 0);
   PQS_CHECK(n_items / k_blocks >= 2);
   PQS_CHECK(target < n_items);
-  const std::size_t block = n_items / k_blocks;
 
-  std::vector<Amplitude> amps(
-      n_items,
-      Amplitude{1.0 / std::sqrt(static_cast<double>(n_items)), 0.0});
-  std::array<std::vector<double>, Figure1Trace::kStages> stages;
-  stages[0] = real_parts(amps);  // (A)
+  auto backend = qsim::make_backend(
+      kind, qsim::BackendSpec::single_target(n_items, k_blocks, target));
+  const auto record = [&](std::size_t stage) {
+    if (stages != nullptr) {
+      (*stages)[stage] = real_parts(backend->amplitudes_copy());
+    }
+  };
+  record(0);                         // (A) uniform superposition
 
-  qsim::kernels::phase_flip_index(amps, target);  // (B), query 1
-  stages[1] = real_parts(amps);
+  backend->apply_oracle();           // (B), query 1
+  record(1);
 
-  qsim::kernels::reflect_blocks_about_uniform(amps, block);  // (C)
-  stages[2] = real_parts(amps);
+  backend->apply_block_diffusion();  // (C)
+  record(2);
 
-  qsim::kernels::phase_flip_index(amps, target);  // (D), query 2
-  stages[3] = real_parts(amps);
+  backend->apply_oracle();           // (D), query 2
+  record(3);
 
-  qsim::kernels::reflect_about_uniform(amps);  // (E)
-  stages[4] = real_parts(amps);
-  return stages;
+  backend->apply_global_diffusion(); // (E)
+  record(4);
+  return backend;
 }
 
 }  // namespace
@@ -82,40 +88,26 @@ std::string Figure1Trace::render() const {
   return os.str();
 }
 
-Figure1Trace run_figure1(Index target) {
+Figure1Trace run_figure1(Index target, qsim::BackendKind backend) {
   constexpr std::uint64_t kItems = 12;
   constexpr std::uint64_t kBlocks = 3;
   PQS_CHECK_MSG(target < kItems, "target must be one of the twelve items");
 
   Figure1Trace trace;
-  trace.stages = run_pattern(kItems, kBlocks, target);
+  const auto engine =
+      run_pattern(kItems, kBlocks, target, backend, &trace.stages);
   trace.queries = 2;
-
-  const auto& final_stage = trace.stages[Figure1Trace::kStages - 1];
-  const std::size_t block = kItems / kBlocks;
-  const std::size_t target_block = target / block;
-  double block_p = 0.0;
-  for (std::size_t i = target_block * block; i < (target_block + 1) * block;
-       ++i) {
-    block_p += final_stage[i] * final_stage[i];
-  }
-  trace.block_probability = block_p;
-  trace.target_probability = final_stage[target] * final_stage[target];
+  trace.block_probability = engine->block_probability(engine->target_block());
+  trace.target_probability = engine->marked_probability();
   return trace;
 }
 
 double two_query_block_probability(std::uint64_t n_items,
-                                   std::uint64_t k_blocks, Index target) {
-  const auto stages = run_pattern(n_items, k_blocks, target);
-  const auto& final_stage = stages[Figure1Trace::kStages - 1];
-  const std::size_t block = n_items / k_blocks;
-  const std::size_t target_block = target / block;
-  double block_p = 0.0;
-  for (std::size_t i = target_block * block; i < (target_block + 1) * block;
-       ++i) {
-    block_p += final_stage[i] * final_stage[i];
-  }
-  return block_p;
+                                   std::uint64_t k_blocks, Index target,
+                                   qsim::BackendKind backend) {
+  const auto engine =
+      run_pattern(n_items, k_blocks, target, backend, nullptr);
+  return engine->block_probability(engine->target_block());
 }
 
 std::vector<TwoQueryInstance> two_query_instances(std::uint64_t max_items) {

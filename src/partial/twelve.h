@@ -9,9 +9,12 @@
 //   (D) invert the amplitude of the target state again      [query 2]
 //   (E) invert about the global average
 //
-// N = 12 is not a power of two, so this module runs the raw O(N) kernels on
-// a plain amplitude vector — demonstrating that the library's kernels are
-// dimension-agnostic even though the qubit-based StateVector is not.
+// N = 12 is not a power of two; the stage pattern runs on qsim::Backend,
+// whose engines are dimension-agnostic (blocks are contiguous address
+// ranges) even though the qubit-based StateVector is not. Both engines
+// apply: the dense engine replays the raw O(N) kernels, the symmetry
+// engine evolves the three class amplitudes in O(1) per stage, and the
+// per-stage pictures come from Backend::amplitudes_copy.
 //
 // The module also answers "when does the 2-query trick work in general?":
 // exactly when N = 4K/(K - 2) (derived in two_query_instances), which yields
@@ -23,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "qsim/backend.h"
 #include "qsim/types.h"
 
 namespace pqs::partial {
@@ -40,12 +44,16 @@ struct Figure1Trace {
 };
 
 /// Run the Figure-1 example. `target` is the marked address in [0, 12).
-Figure1Trace run_figure1(qsim::Index target = 7);
+/// Either engine works (the trace materializes per-stage amplitudes, which
+/// both engines expose for N this small).
+Figure1Trace run_figure1(qsim::Index target = 7,
+                         qsim::BackendKind backend = qsim::BackendKind::kAuto);
 
 /// Run the same 5-stage pattern on a general (N, K) database. Returns the
 /// final target-block probability (1.0 exactly iff N = 4K/(K-2)).
-double two_query_block_probability(std::uint64_t n_items,
-                                   std::uint64_t k_blocks, qsim::Index target);
+double two_query_block_probability(
+    std::uint64_t n_items, std::uint64_t k_blocks, qsim::Index target,
+    qsim::BackendKind backend = qsim::BackendKind::kAuto);
 
 /// All (N, K) with K | N, N/K >= 2 for which the two-query pattern is exact.
 struct TwoQueryInstance {

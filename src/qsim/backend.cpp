@@ -67,6 +67,9 @@ void Backend::apply_phase_flip_known(Index) {
 void Backend::apply_mcz(std::uint64_t) {
   PQS_CHECK_MSG(false, "multi-controlled Z needs the dense backend");
 }
+std::uint64_t Backend::apply_noise(const NoiseModel&, Rng&) {
+  throw CheckFailure("this backend implements no noise channel");
+}
 
 bool symmetry_supports(const BackendSpec& spec) {
   if (spec.marked.empty() || spec.n_blocks < 1 || spec.n_items < 2 ||
@@ -136,6 +139,17 @@ class DenseBackend final : public Backend {
   }
   void apply_global_phase(Amplitude phase) override {
     kernels::scale(amps_, phase);
+  }
+
+  std::uint64_t apply_noise(const NoiseModel& model, Rng& rng) override {
+    model.validate();  // an out-of-range rate must throw, never read clean
+    if (!model.enabled()) {
+      return 0;
+    }
+    const unsigned n = qubits();  // checks the power-of-two requirement
+    return for_each_error_qubit(n, model.probability, rng, [&](unsigned q) {
+      kernels::apply_gate1(amps_, n, q, sample_pauli(model.kind, rng));
+    });
   }
 
   void apply_gate1(unsigned q, const Gate2& g) override {
@@ -221,6 +235,21 @@ class DenseBackend final : public Backend {
 /// Each operator updates the triple with the same arithmetic the dense
 /// kernels perform on the repeated values, so observables agree with
 /// DenseBackend to machine precision (cross-checked in tests/test_backend).
+///
+/// Noise (the block-class density argument): a Pauli error breaks the exact
+/// three-value symmetry, so each class additionally carries an incoherent
+/// residual mass r_c >= 0; the class's total probability mass is
+/// size * |a_c|^2 + r_c. Every coherent operator above is an affine map
+/// a -> alpha a + beta with |alpha| = 1 applied uniformly to a class, which
+/// transforms the coherent mean exactly and leaves the residue invariant —
+/// so the noiseless path is bit-identical to the residue-free engine. Each
+/// Pauli updates the moments the way it permutes/re-signs the underlying
+/// amplitudes: exact while the class is fully coherent (the first error),
+/// an exchangeable-residue mean-field approximation afterwards. Success
+/// statistics match dense trajectory averages to statistical tolerance
+/// (tests/test_support_matrix); amplitude materialization is refused once
+/// residue exists, because a class mean plus a mass has no faithful
+/// amplitude vector.
 class SymmetryBackend final : public Backend {
  public:
   explicit SymmetryBackend(BackendSpec spec) : Backend(std::move(spec)) {
@@ -243,6 +272,7 @@ class SymmetryBackend final : public Backend {
     const Amplitude amp{1.0 / std::sqrt(static_cast<double>(spec_.n_items)),
                         0.0};
     a_t_ = a_b_ = a_o_ = amp;
+    r_t_ = r_b_ = r_o_ = 0.0;
   }
 
   void apply_oracle() override { a_t_ = -a_t_; }
@@ -296,37 +326,64 @@ class SymmetryBackend final : public Backend {
     a_o_ *= phase;
   }
 
+  std::uint64_t apply_noise(const NoiseModel& model, Rng& rng) override {
+    model.validate();  // an out-of-range rate must throw, never read clean
+    if (!model.enabled()) {
+      return 0;
+    }
+    PQS_CHECK_MSG(m_ == 1,
+                  "symmetry-backend noise needs a unique marked address");
+    PQS_CHECK_MSG(is_pow2(spec_.n_items) && is_pow2(spec_.n_blocks),
+                  "symmetry-backend noise needs power-of-two N and K "
+                  "(per-qubit Pauli channels act on address bits)");
+    const unsigned n = log2_exact(spec_.n_items);
+    const unsigned split = n - log2_exact(spec_.n_blocks);
+    return for_each_error_qubit(n, model.probability, rng, [&](unsigned q) {
+      switch (sample_pauli_kind(model.kind, rng)) {
+        case Pauli::kX:
+          noise_x(q, split);
+          break;
+        case Pauli::kY:  // Y = i X Z: dephase, permute, global i
+          noise_z(q, split);
+          noise_x(q, split);
+          apply_global_phase(Amplitude{0.0, 1.0});
+          break;
+        case Pauli::kZ:
+          noise_z(q, split);
+          break;
+      }
+    });
+  }
+
   double probability(Index x) const override {
     PQS_CHECK_MSG(x < spec_.n_items, "index out of range");
     if (block_of(x) != target_block()) {
-      return std::norm(a_o_);
+      return mass_others() / static_cast<double>(others_);
     }
     return std::binary_search(spec_.marked.begin(), spec_.marked.end(), x)
-               ? std::norm(a_t_)
-               : std::norm(a_b_);
+               ? mass_marked() / static_cast<double>(m_)
+               : mass_rest() / static_cast<double>(rest_);
   }
-  double marked_probability() const override {
-    return static_cast<double>(m_) * std::norm(a_t_);
-  }
+  double marked_probability() const override { return mass_marked(); }
   double block_probability(Index block) const override {
     PQS_CHECK_MSG(block < num_blocks(), "block index out of range");
     if (block != target_block()) {
-      return static_cast<double>(block_size()) * std::norm(a_o_);
+      return mass_others() * static_cast<double>(block_size()) /
+             static_cast<double>(others_);
     }
-    return static_cast<double>(m_) * std::norm(a_t_) +
-           static_cast<double>(rest_) * std::norm(a_b_);
+    return mass_marked() + mass_rest();
   }
   std::vector<double> block_distribution() const override {
-    std::vector<double> dist(num_blocks(),
-                             static_cast<double>(block_size()) *
-                                 std::norm(a_o_));
-    dist[target_block()] = block_probability(target_block());
+    std::vector<double> dist(
+        num_blocks(),
+        num_blocks() > 1 ? mass_others() * static_cast<double>(block_size()) /
+                               static_cast<double>(others_)
+                         : 0.0);
+    dist[target_block()] = mass_marked() + mass_rest();
     return dist;
   }
   double norm_squared() const override {
-    return static_cast<double>(m_) * std::norm(a_t_) +
-           static_cast<double>(rest_) * std::norm(a_b_) +
-           static_cast<double>(others_) * std::norm(a_o_);
+    return mass_marked() + mass_rest() + mass_others();
   }
 
   Index sample(Rng& rng) const override {
@@ -370,6 +427,10 @@ class SymmetryBackend final : public Backend {
   std::vector<Amplitude> amplitudes_copy() const override {
     PQS_CHECK_MSG(spec_.n_items <= kMaxDenseItems,
                   "state too large to materialize");
+    PQS_CHECK_MSG(r_t_ + r_b_ + r_o_ < 1e-12,
+                  "a noisy symmetry-backend state holds incoherent residual "
+                  "mass and cannot be materialized as amplitudes; use the "
+                  "dense backend for amplitude-level noise studies");
     std::vector<Amplitude> amps(spec_.n_items, a_o_);
     const std::size_t lo =
         static_cast<std::size_t>(target_block()) * block_size();
@@ -395,10 +456,21 @@ class SymmetryBackend final : public Backend {
            static_cast<double>(block_size());
   }
 
+  /// Total probability mass of each class: coherent part + noise residue.
+  double mass_marked() const {
+    return static_cast<double>(m_) * std::norm(a_t_) + r_t_;
+  }
+  double mass_rest() const {
+    return static_cast<double>(rest_) * std::norm(a_b_) + r_b_;
+  }
+  double mass_others() const {
+    return static_cast<double>(others_) * std::norm(a_o_) + r_o_;
+  }
+
   Class sample_class(Rng& rng) const {
-    const double w_t = static_cast<double>(m_) * std::norm(a_t_);
-    const double w_b = static_cast<double>(rest_) * std::norm(a_b_);
-    const double w_o = static_cast<double>(others_) * std::norm(a_o_);
+    const double w_t = mass_marked();
+    const double w_b = mass_rest();
+    const double w_o = mass_others();
     double u = rng.uniform01() * (w_t + w_b + w_o);
     u -= w_t;
     if (u <= 0.0) {
@@ -411,11 +483,105 @@ class SymmetryBackend final : public Backend {
     return Class::kOthers;
   }
 
+  /// Pauli X on address bit q. Bits below `split` index within a block,
+  /// bits at/above it index the block: a within-block X swaps the target
+  /// with its partner inside the target block (every other class is a
+  /// permutation of itself), a block-bit X swaps the whole target block
+  /// with another block. Updates are exact for fully coherent classes and
+  /// use the exchangeable-residue expectation otherwise.
+  void noise_x(unsigned q, unsigned split) {
+    if (q < split) {
+      const double b1 = static_cast<double>(rest_);  // B - 1 >= 1 here
+      const double mt = mass_marked();
+      const double mb = mass_rest();
+      const Amplitude mu_t = a_t_;
+      const Amplitude mu_b = a_b_;
+      // The target now holds a class-typical member of the block rest...
+      a_t_ = mu_b;
+      r_t_ = std::max(0.0, mb / b1 - std::norm(a_t_));
+      // ...and the block rest absorbed the old target amplitude.
+      a_b_ = ((b1 - 1.0) * mu_b + mu_t) / b1;
+      const double mb_new = mb - mb / b1 + mt;
+      r_b_ = std::max(0.0, mb_new - b1 * std::norm(a_b_));
+    } else {
+      if (others_ == 0) {
+        return;  // K = 1: no block bits to flip
+      }
+      const double b1 = static_cast<double>(rest_);
+      const double oo = static_cast<double>(others_);
+      const double bs = static_cast<double>(block_size());
+      const double mt = mass_marked();
+      const double mb = mass_rest();
+      const double mo = mass_others();
+      const double per_o = mo / oo;  // expected mass of one C_o state
+      const Amplitude mu_t = a_t_;
+      const Amplitude mu_b = a_b_;
+      const Amplitude mu_o = a_o_;
+      // The target block becomes a copy of a typical other block...
+      a_t_ = mu_o;
+      r_t_ = std::max(0.0, per_o - std::norm(a_t_));
+      a_b_ = mu_o;
+      r_b_ = std::max(0.0, b1 * (per_o - std::norm(a_b_)));
+      // ...and the other blocks absorb the old target block.
+      a_o_ = ((oo - bs) * mu_o + mu_t + b1 * mu_b) / oo;
+      const double mo_new = mo - bs * per_o + mt + mb;
+      r_o_ = std::max(0.0, mo_new - oo * std::norm(a_o_));
+    }
+  }
+
+  /// Pauli Z on address bit q: flips the sign of every state with that bit
+  /// set. The target's sign is exact; for the other classes the coherent
+  /// mean scales by the exact (unset - set) member imbalance while the
+  /// class mass is unchanged — dephasing converts coherent mass into
+  /// residue.
+  void noise_z(unsigned q, unsigned split) {
+    if (q < split) {
+      // Within-block bit: exactly half of every block has the bit set.
+      const bool t_bit = ((spec_.marked.front() >> q) & 1) != 0;
+      if (t_bit) {
+        a_t_ = -a_t_;
+      }
+      if (rest_ > 0) {
+        const double mb = mass_rest();
+        const double n1 =
+            static_cast<double>(block_size() / 2) - (t_bit ? 1.0 : 0.0);
+        const double n0 = static_cast<double>(rest_) - n1;
+        a_b_ *= (n0 - n1) / static_cast<double>(rest_);
+        r_b_ = std::max(0.0, mb - static_cast<double>(rest_) *
+                                      std::norm(a_b_));
+      }
+      if (others_ > 0) {
+        // Equal halves in every other block: the coherent mean vanishes.
+        r_o_ = mass_others();
+        a_o_ = Amplitude{0.0, 0.0};
+      }
+    } else {
+      // Block bit: every state of a block shares the block index's sign.
+      const bool tb_bit = ((target_block() >> (q - split)) & 1) != 0;
+      if (tb_bit) {
+        a_t_ = -a_t_;
+        a_b_ = -a_b_;
+      }
+      if (others_ > 0) {
+        const double mo = mass_others();
+        const double k_others = static_cast<double>(num_blocks() - 1);
+        const double n1 = static_cast<double>(num_blocks() / 2) -
+                          (tb_bit ? 1.0 : 0.0);
+        const double n0 = k_others - n1;
+        a_o_ *= (n0 - n1) / k_others;
+        r_o_ = std::max(0.0, mo - static_cast<double>(others_) *
+                                      std::norm(a_o_));
+      }
+    }
+  }
+
   std::uint64_t m_ = 0;       ///< marked states
   std::uint64_t rest_ = 0;    ///< unmarked states of the target block
   std::uint64_t others_ = 0;  ///< states outside the target block
   std::vector<Index> marked_offsets_;  ///< marked addresses within the block
   Amplitude a_t_, a_b_, a_o_;
+  /// Incoherent residual mass per class (zero until noise fires).
+  double r_t_ = 0.0, r_b_ = 0.0, r_o_ = 0.0;
 };
 
 // ---------------------------------------------------------------------------
@@ -450,6 +616,29 @@ std::unique_ptr<Backend> make_backend(BackendKind kind,
       break;  // unreachable: resolve_backend never returns kAuto
   }
   throw CheckFailure("unresolved backend kind");
+}
+
+bool backend_supports_noise(BackendKind kind, const BackendSpec& spec) {
+  switch (resolve_backend(kind, spec)) {
+    case BackendKind::kDense:
+      return is_pow2(spec.n_items);
+    case BackendKind::kSymmetry:
+      return is_pow2(spec.n_items) && is_pow2(spec.n_blocks) &&
+             spec.marked.size() == 1;
+    case BackendKind::kAuto:
+      break;  // unreachable: resolve_backend never returns kAuto
+  }
+  return false;
+}
+
+void require_noise_support(BackendKind kind, const BackendSpec& spec,
+                           std::string_view what) {
+  PQS_CHECK_MSG(backend_supports_noise(kind, spec),
+                std::string(what) + ": the " +
+                    to_string(resolve_backend(kind, spec)) +
+                    " backend cannot run Pauli noise on this problem shape "
+                    "(dense needs N = 2^n; symmetry additionally needs "
+                    "K = 2^k and a unique marked address)");
 }
 
 void require_dense(BackendKind kind, std::string_view what) {

@@ -47,6 +47,7 @@
 
 #include "common/random.h"
 #include "qsim/circuit.h"
+#include "qsim/noise.h"
 #include "qsim/types.h"
 
 namespace pqs::qsim {
@@ -125,6 +126,24 @@ class Backend {
   /// Multiply the whole state by a fixed phase.
   virtual void apply_global_phase(Amplitude phase) = 0;
 
+  // -- noise channels (trajectory sampling) --
+  /// Sample one noise-trajectory step: for each address qubit, with
+  /// probability model.probability inject the channel's Pauli. Returns the
+  /// number of injected errors. The dense engine applies literal Pauli
+  /// gates (exact trajectories); the symmetry engine updates per-class
+  /// moments — each symmetry class carries a coherent mean amplitude plus
+  /// an incoherent residual mass, every coherent operator transforms the
+  /// means exactly and leaves the residue invariant, and each Pauli maps
+  /// the class moments the way it maps the underlying amplitudes (exact
+  /// for the first error on a fully coherent state, exchangeable-residue
+  /// approximation afterwards; validated against dense trajectories to
+  /// statistical tolerance in tests). The model's rate is validated here
+  /// (two comparisons — an out-of-range rate throws rather than silently
+  /// reading as a clean run); drivers additionally validate once at entry
+  /// so the error surfaces before any trial work. Checked: the spec must
+  /// support noise — see require_noise_support.
+  virtual std::uint64_t apply_noise(const NoiseModel& model, Rng& rng);
+
   // -- gate-level ops (dense only; the defaults throw CheckFailure) --
   virtual void apply_gate1(unsigned q, const Gate2& g);
   virtual void apply_controlled_gate1(std::uint64_t control_mask, unsigned q,
@@ -165,10 +184,22 @@ BackendKind resolve_backend(BackendKind kind, const BackendSpec& spec);
 std::unique_ptr<Backend> make_backend(BackendKind kind,
                                       const BackendSpec& spec);
 
-/// Guard for code paths that genuinely need full amplitude vectors (noise
-/// trajectories, snapshots, the Zalka hybrid argument): throws CheckFailure
-/// naming `what` when `kind` resolves to anything but dense.
+/// Guard for code paths that genuinely need full amplitude vectors
+/// (snapshots, the Zalka hybrid argument): throws CheckFailure naming
+/// `what` when `kind` resolves to anything but dense.
 void require_dense(BackendKind kind, std::string_view what);
+
+/// True when the resolved engine can run Pauli noise channels on `spec`:
+/// the dense engine needs a power-of-two N (per-qubit gates), the symmetry
+/// engine additionally needs a power-of-two K and a unique marked address
+/// (the class-moment channel is derived for the single-target split).
+bool backend_supports_noise(BackendKind kind, const BackendSpec& spec);
+
+/// Throws CheckFailure naming `what` unless backend_supports_noise. Call
+/// BEFORE fanning trials across threads: a throw inside an OpenMP region
+/// would terminate the process instead of reporting the error.
+void require_noise_support(BackendKind kind, const BackendSpec& spec,
+                           std::string_view what);
 
 // -- circuit execution on a backend --
 

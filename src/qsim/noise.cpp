@@ -1,40 +1,56 @@
 #include "qsim/noise.h"
 
+#include <string>
+
 #include "common/check.h"
 
 namespace pqs::qsim {
 
+void NoiseModel::validate() const {
+  PQS_CHECK_MSG(valid(),
+                "noise probability must lie in [0, 1], got " +
+                    std::to_string(probability));
+}
+
+Pauli sample_pauli_kind(NoiseKind kind, Rng& rng) {
+  switch (kind) {
+    case NoiseKind::kDepolarizing: {
+      const auto which = rng.uniform_below(3);
+      return which == 0 ? Pauli::kX : which == 1 ? Pauli::kY : Pauli::kZ;
+    }
+    case NoiseKind::kDephasing:
+      return Pauli::kZ;
+    case NoiseKind::kBitFlip:
+      return Pauli::kX;
+    case NoiseKind::kNone:
+      break;
+  }
+  throw CheckFailure("sample_pauli: channel has no Pauli (NoiseKind::kNone)");
+}
+
+Gate2 sample_pauli(NoiseKind kind, Rng& rng) {
+  switch (sample_pauli_kind(kind, rng)) {
+    case Pauli::kX:
+      return gates::X();
+    case Pauli::kY:
+      return gates::Y();
+    case Pauli::kZ:
+      return gates::Z();
+  }
+  throw CheckFailure("sample_pauli: invalid Pauli value");
+}
+
 std::uint64_t apply_noise(StateVector& state, const NoiseModel& model,
                           Rng& rng) {
+  model.validate();
   if (!model.enabled()) {
     return 0;
   }
-  PQS_CHECK_MSG(model.probability <= 1.0, "noise probability > 1");
-  std::uint64_t injected = 0;
-  for (unsigned q = 0; q < state.num_qubits(); ++q) {
-    if (!rng.bernoulli(model.probability)) {
-      continue;
-    }
-    ++injected;
-    switch (model.kind) {
-      case NoiseKind::kDepolarizing: {
-        const auto which = rng.uniform_below(3);
-        state.apply_gate1(q, which == 0   ? gates::X()
-                             : which == 1 ? gates::Y()
-                                          : gates::Z());
-        break;
-      }
-      case NoiseKind::kDephasing:
-        state.apply_gate1(q, gates::Z());
-        break;
-      case NoiseKind::kBitFlip:
-        state.apply_gate1(q, gates::X());
-        break;
-      case NoiseKind::kNone:
-        break;
-    }
-  }
-  return injected;
+  // Hot loop: every hit corresponds to exactly one gate application.
+  return for_each_error_qubit(
+      state.num_qubits(), model.probability, rng, [&](unsigned q) {
+        state.apply_gate1(q, sample_pauli(model.kind, rng));
+      });
 }
 
 const char* noise_kind_name(NoiseKind kind) {
@@ -48,7 +64,24 @@ const char* noise_kind_name(NoiseKind kind) {
     case NoiseKind::kBitFlip:
       return "bit-flip";
   }
-  return "?";
+  throw CheckFailure("noise_kind_name: invalid NoiseKind value");
+}
+
+NoiseKind parse_noise_kind(std::string_view name) {
+  if (name == "none") {
+    return NoiseKind::kNone;
+  }
+  if (name == "depolarizing") {
+    return NoiseKind::kDepolarizing;
+  }
+  if (name == "dephasing") {
+    return NoiseKind::kDephasing;
+  }
+  if (name == "bitflip" || name == "bit-flip") {
+    return NoiseKind::kBitFlip;
+  }
+  throw CheckFailure("unknown noise channel '" + std::string(name) +
+                     "' (expected none, depolarizing, dephasing, or bitflip)");
 }
 
 }  // namespace pqs::qsim

@@ -35,8 +35,9 @@ std::unique_ptr<Backend> Simulator::symmetry_engine(
     return nullptr;
   }
   PQS_CHECK_MSG(!noise_.enabled(),
-                "noise trajectories need full amplitude vectors; use the "
-                "dense backend");
+                "Simulator noise trajectories run per-shot on the dense "
+                "engine; use the dense backend here, or the algorithm-level "
+                "noisy drivers (partial/noisy.h) for symmetry-engine noise");
   auto spec = symmetric_spec(circuit, oracle);
   PQS_CHECK_MSG(spec.has_value(),
                 "circuit/oracle pair is not block-symmetric; use the dense "

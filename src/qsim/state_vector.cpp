@@ -185,4 +185,8 @@ std::string StateVector::render_real_amplitudes(unsigned k_blocks,
   return os.str();
 }
 
+StateVector uniform_state(unsigned n_qubits) {
+  return StateVector::uniform(n_qubits);
+}
+
 }  // namespace pqs::qsim

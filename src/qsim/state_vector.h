@@ -97,4 +97,10 @@ class StateVector {
   std::vector<Amplitude> amps_;
 };
 
+/// The canonical |psi0> constructor for dense code paths that live outside
+/// the engine layer (e.g. the Zalka hybrid argument, which manipulates full
+/// amplitude vectors by design). Algorithm drivers should go through
+/// qsim::Backend instead; this helper marks the deliberate exceptions.
+StateVector uniform_state(unsigned n_qubits);
+
 }  // namespace pqs::qsim

@@ -21,7 +21,7 @@ qsim::StateVector run_with_snapshots(
     const qsim::Circuit& circuit, const qsim::OracleView& oracle,
     std::uint64_t identity_until,
     std::vector<qsim::StateVector>* before_each_query) {
-  auto state = qsim::StateVector::uniform(circuit.num_qubits());
+  auto state = qsim::uniform_state(circuit.num_qubits());
   std::uint64_t queries_seen = 0;
   for (const auto& op : circuit.ops()) {
     const std::uint64_t cost = qsim::op_query_cost(op);

@@ -246,7 +246,16 @@ TEST(SymmetryBackendTest, RunsFortyEightQubitGrkUnderASecond) {
   Rng rng(7);
   Stopwatch watch;
   const auto result = partial::run_partial_search(db, k, rng, options);
+#ifndef __has_feature
+#define __has_feature(x) 0
+#endif
+#if defined(__SANITIZE_ADDRESS__) || __has_feature(address_sanitizer)
+  // Instrumented builds run the same ~1.3e7 O(1) steps a few times slower;
+  // the wall-clock claim belongs to uninstrumented builds.
+  EXPECT_LT(watch.seconds(), 10.0);
+#else
   EXPECT_LT(watch.seconds(), 1.0);
+#endif
 
   EXPECT_EQ(result.backend_used, BackendKind::kSymmetry);
   EXPECT_EQ(result.queries, *options.l1 + *options.l2 + 1);

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/math.h"
 #include "partial/noisy.h"
 
 namespace pqs::qsim {
@@ -80,10 +81,114 @@ TEST(Noise, RejectsInvalidProbability) {
   EXPECT_THROW(apply_noise(sv, model, rng), CheckFailure);
 }
 
+TEST(Noise, RejectsNegativeProbability) {
+  // Regression: a negative p used to make every Bernoulli draw fail, so a
+  // "noisy" run silently executed clean while being reported as noisy.
+  auto sv = StateVector::uniform(2);
+  Rng rng(6);
+  const NoiseModel model{NoiseKind::kDepolarizing, -0.1};
+  EXPECT_FALSE(model.valid());
+  EXPECT_THROW(model.validate(), CheckFailure);
+  EXPECT_THROW(apply_noise(sv, model, rng), CheckFailure);
+
+  const oracle::Database db = oracle::Database::with_qubits(6, 1);
+  Rng rng2(7);
+  EXPECT_THROW(partial::run_noisy_partial_search(db, 2, model, 10, rng2),
+               CheckFailure);
+  EXPECT_THROW(partial::run_noisy_full_search_block(db, 2, model, 10, rng2),
+               CheckFailure);
+
+  // The backend-level channel must also refuse, not read the model as
+  // disabled and silently run clean.
+  for (const auto kind : {BackendKind::kDense, BackendKind::kSymmetry}) {
+    auto backend =
+        make_backend(kind, BackendSpec::single_target(16, 2, 5));
+    EXPECT_THROW(backend->apply_noise(model, rng), CheckFailure);
+  }
+}
+
+TEST(Noise, InjectedCountsOnlyRealGateApplications) {
+  // Regression: the injection counter used to increment before the channel
+  // dispatch, so a kNone arm (or any non-applying path) could report
+  // injections that never touched the state.
+  Rng rng(8);
+  auto sv = StateVector::uniform(3);
+  const auto before = sv;
+  EXPECT_EQ(apply_noise(sv, NoiseModel{NoiseKind::kNone, 1.0}, rng), 0u);
+  EXPECT_LT(sv.linf_distance(before), 1e-15);
+
+  // With p = 1 every qubit gets exactly one real Pauli: count == qubits and
+  // the state moved (Z on the uniform state flips signs).
+  auto sv2 = StateVector::uniform(4);
+  EXPECT_EQ(apply_noise(sv2, NoiseModel{NoiseKind::kDephasing, 1.0}, rng), 4u);
+  EXPECT_GT(sv2.linf_distance(StateVector::uniform(4)), 0.1);
+
+  // Same contract for both engines.
+  auto backend = make_backend(BackendKind::kDense,
+                              BackendSpec::single_target(16, 2, 5));
+  EXPECT_EQ(backend->apply_noise(NoiseModel{NoiseKind::kNone, 1.0}, rng), 0u);
+  EXPECT_EQ(backend->apply_noise(NoiseModel{NoiseKind::kBitFlip, 1.0}, rng),
+            4u);
+  auto sym = make_backend(BackendKind::kSymmetry,
+                          BackendSpec::single_target(16, 2, 5));
+  EXPECT_EQ(sym->apply_noise(NoiseModel{NoiseKind::kNone, 1.0}, rng), 0u);
+  EXPECT_EQ(sym->apply_noise(NoiseModel{NoiseKind::kBitFlip, 1.0}, rng), 4u);
+}
+
+TEST(Noise, ParseNoiseKindRoundTrips) {
+  EXPECT_EQ(parse_noise_kind("none"), NoiseKind::kNone);
+  EXPECT_EQ(parse_noise_kind("depolarizing"), NoiseKind::kDepolarizing);
+  EXPECT_EQ(parse_noise_kind("dephasing"), NoiseKind::kDephasing);
+  EXPECT_EQ(parse_noise_kind("bitflip"), NoiseKind::kBitFlip);
+  EXPECT_THROW(parse_noise_kind("gaussian"), CheckFailure);
+}
+
+TEST(Noise, BackendNoisePreservesNorm) {
+  Rng rng(10);
+  for (const auto kind : {BackendKind::kDense, BackendKind::kSymmetry}) {
+    auto backend =
+        make_backend(kind, BackendSpec::single_target(64, 4, 37));
+    backend->apply_oracle();
+    backend->apply_global_diffusion();
+    for (int i = 0; i < 10; ++i) {
+      backend->apply_noise(NoiseModel{NoiseKind::kDepolarizing, 0.5}, rng);
+      backend->apply_oracle();
+      backend->apply_block_diffusion();
+    }
+    EXPECT_NEAR(backend->norm_squared(), 1.0, 1e-9) << to_string(kind);
+  }
+}
+
 TEST(Noise, KindNamesAreDistinct) {
   EXPECT_STRNE(noise_kind_name(NoiseKind::kDepolarizing),
                noise_kind_name(NoiseKind::kDephasing));
   EXPECT_STREQ(noise_kind_name(NoiseKind::kNone), "none");
+}
+
+TEST(NoisyPartial, QueriesPerTrialEqualsDatabaseMeterDelta) {
+  // Regression: the drivers used to hand-roll query accounting (an explicit
+  // add_queries(1) for Step 3 vs implicit counting inside the oracle), so
+  // nothing tied the reported queries_per_trial to the meter. Now each
+  // trial counts its queries locally, every trial must agree, and the
+  // meter advances by exactly trials * queries_per_trial.
+  const oracle::Database db = oracle::Database::with_qubits(9, 100);
+  Rng rng(77);
+  for (const auto backend : {BackendKind::kDense, BackendKind::kSymmetry}) {
+    partial::NoisyOptions options;
+    options.backend = backend;
+    const NoiseModel model{NoiseKind::kDepolarizing, 0.01};
+
+    db.reset_queries();
+    const auto part =
+        partial::run_noisy_partial_search(db, 2, model, 37, rng, options);
+    EXPECT_EQ(db.queries(), 37u * part.queries_per_trial);
+
+    db.reset_queries();
+    const auto full =
+        partial::run_noisy_full_search_block(db, 2, model, 23, rng, options);
+    EXPECT_EQ(db.queries(), 23u * full.queries_per_trial);
+    EXPECT_EQ(full.queries_per_trial, grover_optimal_iterations(db.size()));
+  }
 }
 
 TEST(NoisyPartial, ZeroNoiseMatchesCleanSuccess) {
@@ -121,9 +226,9 @@ TEST(NoisyPartial, PartialDegradesSlowerThanFullAtEqualPerQueryNoise) {
   const oracle::Database db = oracle::Database::with_qubits(10, 700);
   const NoiseModel model{NoiseKind::kDepolarizing, 0.01};
   const auto partial_run =
-      partial::run_noisy_partial_search(db, 2, model, 120, rng);
+      partial::run_noisy_partial_search(db, 2, model, 600, rng);
   const auto full_run =
-      partial::run_noisy_full_search_block(db, 2, model, 120, rng);
+      partial::run_noisy_full_search_block(db, 2, model, 600, rng);
   EXPECT_LT(partial_run.queries_per_trial, full_run.queries_per_trial);
   EXPECT_GT(partial_run.success_rate, full_run.success_rate - 0.1);
 }
