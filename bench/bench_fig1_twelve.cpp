@@ -6,34 +6,48 @@
 #include <cstdio>
 #include <iostream>
 
+#include "api/api.h"
 #include "common/cli.h"
 #include "common/table.h"
 #include "grover/exact.h"
 #include "partial/twelve.h"
-#include "qsim/flags.h"
 
 int main(int argc, char** argv) {
   using namespace pqs;
   Cli cli(argc, argv);
   const auto target = static_cast<qsim::Index>(
       cli.get_int("target", 7, "marked address in [0, 12)"));
-  const auto engine = qsim::parse_engine_flags(cli);
+  api::SpecFlagSet flags;
+  flags.algo = false;
+  flags.problem = false;
+  SearchSpec spec = api::parse_search_spec(cli, flags);
   if (cli.help_requested()) {
     std::cout << cli.help();
     return 0;
   }
   cli.finish();
 
-  const auto trace = partial::run_figure1(target, engine.backend);
+  // The per-stage amplitude pictures come from the low-level trace API.
+  const auto trace = partial::run_figure1(target, spec.backend);
   std::cout << "F1 - Figure 1: partial quantum search in a database of "
                "twelve items (target = "
             << target << ")\n\n"
             << trace.render();
 
+  // The run itself is one "twelve" request against the engine.
+  Engine engine;
+  spec.algorithm = "twelve";
+  spec.n_items = 12;
+  spec.n_blocks = 3;
+  spec.marked = {target};
+  const auto report = engine.run(spec);
+
   Table summary({"quantity", "paper", "measured"});
-  summary.add_row({"queries", "2", Table::num(trace.queries)});
-  summary.add_row({"P(target block)", "1", Table::num(trace.block_probability, 6)});
-  summary.add_row({"P(target state)", "3/4", Table::num(trace.target_probability, 6)});
+  summary.add_row({"queries", "2", Table::num(report.queries)});
+  summary.add_row(
+      {"P(target block)", "1", Table::num(report.success_probability, 6)});
+  summary.add_row({"P(target state)", "3/4",
+                   Table::num(trace.target_probability, 6)});
   summary.add_row({"full search with certainty (N=12)", ">= 3 queries",
                    Table::num(grover::exact_query_count(12)) + " queries"});
   std::cout << summary.render();
@@ -42,12 +56,12 @@ int main(int argc, char** argv) {
   std::cout << "\nTwo-query-exact instances with N <= 64 "
                "(condition N = 4K/(K-2)):\n";
   for (const auto& inst : partial::two_query_instances(64)) {
+    spec.n_items = inst.n_items;
+    spec.n_blocks = inst.k_blocks;
+    spec.marked = {0};
     std::cout << "  N = " << inst.n_items << ", K = " << inst.k_blocks
               << "  -> block probability "
-              << Table::num(partial::two_query_block_probability(
-                                inst.n_items, inst.k_blocks, 0,
-                                engine.backend),
-                            9)
+              << Table::num(engine.run(spec).success_probability, 9)
               << "\n";
   }
   return 0;

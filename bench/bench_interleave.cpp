@@ -8,6 +8,7 @@
 #include <cmath>
 #include <iostream>
 
+#include "api/api.h"
 #include "common/cli.h"
 #include "common/math.h"
 #include "common/table.h"
@@ -15,24 +16,30 @@
 #include "oracle/database.h"
 #include "partial/interleave.h"
 #include "partial/optimizer.h"
-#include "qsim/flags.h"
 
 int main(int argc, char** argv) {
   using namespace pqs;
   Cli cli(argc, argv);
-  const auto n = static_cast<unsigned>(
-      cli.get_int("qubits", 12, "address qubits"));
   const auto max_segments = static_cast<unsigned>(
       cli.get_int("max-segments", 4, "largest schedule arity to search"));
-  const auto engine = qsim::parse_engine_flags(cli);
+  api::SpecFlagSet spec_flags;
+  spec_flags.algo = false;
+  spec_flags.target = false;  // the demo target derives from the problem size
+  SearchSpec spec = api::parse_search_spec(cli, spec_flags, "interleave",
+                                           /*default_qubits=*/12,
+                                           /*default_kbits=*/1,
+                                           /*default_target=*/0);
   if (cli.help_requested()) {
     std::cout << cli.help();
     return 0;
   }
   cli.finish();
+  const unsigned n = log2_exact(spec.n_items);
+  const qsim::BackendKind engine_backend = spec.backend;
 
   const std::uint64_t n_items = pow2(n);
   Stopwatch timer;
+  Engine facade;
   std::cout << "ablation - alternating global/local schedules on the exact "
                "model (N = " << n_items << ", floor = 1 - 4/sqrt(N))\n\n";
 
@@ -47,7 +54,7 @@ int main(int argc, char** argv) {
       const auto opt =
           partial::optimize_interleaved(n_items, k, floor_p, segs);
       const double engine_success = partial::run_schedule_on_backend(
-          db, log2_exact(k), opt.schedule, engine.backend);
+          db, log2_exact(k), opt.schedule, engine_backend);
       table.add_row({Table::num(std::uint64_t{segs}),
                      opt.schedule.to_string() + " +step3",
                      Table::num(opt.queries), Table::num(opt.success, 5),
@@ -63,8 +70,18 @@ int main(int argc, char** argv) {
                    Table::num(paper.queries), Table::num(paper.success, 5),
                    Table::num(partial::run_schedule_on_backend(
                                   db, log2_exact(k), paper_schedule,
-                                  engine.backend),
+                                  engine_backend),
                               5)});
+    // The service path: one "interleave" request (3-segment budget),
+    // executed and measured end to end.
+    spec.n_blocks = k;
+    spec.marked = {db.target()};
+    const auto report = facade.run(spec);
+    table.add_row({"facade (--algo interleave)", report.detail,
+                   Table::num(report.queries),
+                   Table::num(report.success_probability, 5),
+                   report.correct ? "measured: correct block"
+                                  : "measured: WRONG block"});
     std::cout << table.render() << "\n";
   }
   std::cout << "elapsed: " << timer.human() << "\n";

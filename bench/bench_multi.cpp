@@ -1,54 +1,57 @@
 // Extension: multi-marked partial search — M marked items clustered in one
-// block. The Grover angle improves to arcsin(sqrt(M/N)), so queries shrink
-// ~ 1/sqrt(M), mirroring multi-target full search (BBHT).
+// block, each M one "multi" SearchSpec against a shared engine (the plan
+// cache keys on (N, K, M, floor), so every M plans once). The Grover angle
+// improves to arcsin(sqrt(M/N)), so queries shrink ~ 1/sqrt(M), mirroring
+// multi-target full search (BBHT).
 #include <cmath>
 #include <iostream>
 
+#include "api/api.h"
 #include "common/cli.h"
 #include "common/math.h"
 #include "common/table.h"
-#include "partial/multi.h"
 #include "partial/optimizer.h"
-#include "qsim/flags.h"
 
 int main(int argc, char** argv) {
   using namespace pqs;
   Cli cli(argc, argv);
-  const auto n = static_cast<unsigned>(
-      cli.get_int("qubits", 12, "address qubits"));
-  const auto k = static_cast<unsigned>(
-      cli.get_int("kbits", 2, "block bits"));
-  const auto engine = qsim::parse_engine_flags(cli);
+  api::SpecFlagSet flags;
+  flags.algo = false;
+  flags.target = false;  // the marked set is the bench's sweep variable
+  flags.seed_default = 31415;
+  SearchSpec spec = api::parse_search_spec(cli, flags, "multi",
+                                           /*default_qubits=*/12,
+                                           /*default_kbits=*/2,
+                                           /*default_target=*/0);
   if (cli.help_requested()) {
     std::cout << cli.help();
     return 0;
   }
   cli.finish();
 
-  const std::uint64_t n_items = pow2(n);
-  Rng rng(31415);
+  const std::uint64_t n_items = spec.n_items;
+  const unsigned n = log2_exact(n_items);
+  const unsigned k = log2_exact(spec.n_blocks);
+  Engine engine;
   std::cout << "extension - partial search with M marked items in one block "
-               "(N = " << n_items << ", K = " << pow2(k) << ")\n\n";
+               "(N = " << n_items << ", K = " << spec.n_blocks << ")\n\n";
 
   Table table({"M", "queries (measured)", "sqrt(M) * queries", "success",
                "exact-model optimum"});
   for (const std::uint64_t m : {1u, 2u, 4u, 9u, 16u, 64u}) {
-    std::vector<qsim::Index> marked;
+    spec.marked.clear();
     for (std::uint64_t i = 0; i < m; ++i) {
-      marked.push_back((qsim::Index{1} << (n - k)) + 3 * i);  // block 1
+      spec.marked.push_back((qsim::Index{1} << (n - k)) + 3 * i);  // block 1
     }
-    const oracle::MarkedDatabase db(n_items, marked);
-    partial::MultiGrkOptions options;
-    options.backend = engine.backend;
-    const auto run = partial::run_partial_search_multi(db, k, rng, options);
+    const auto run = engine.run(spec);
     const auto opt = partial::optimize_integer(
-        n_items, pow2(k), partial::default_min_success(n_items), m);
+        n_items, spec.n_blocks, partial::default_min_success(n_items), m);
     table.add_row(
         {Table::num(m), Table::num(run.queries),
          Table::num(std::sqrt(static_cast<double>(m)) *
                         static_cast<double>(run.queries),
                     1),
-         Table::num(run.block_probability, 5), Table::num(opt.queries)});
+         Table::num(run.success_probability, 5), Table::num(opt.queries)});
   }
   std::cout << table.render();
   std::cout << "\nthe sqrt(M)*queries column is ~constant: the 1/sqrt(M) "

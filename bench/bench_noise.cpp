@@ -1,11 +1,15 @@
-// Ablation: robustness of partial search to oracle noise.
+// Ablation: robustness of partial search to oracle noise, served through
+// the facade — each sweep point is one "noisy" SearchSpec against a shared
+// pqs::Engine (the plan cache derives the schedule once for the whole
+// sweep); the full-search comparison row uses the low-level driver, which
+// answers the same block question.
 //
 // Per-query noise hits the fewer-query algorithm less often: at equal
 // physical error rates, partial search answers its (coarser) question more
 // reliably than full search answers the same block question.
 //
-//   ./build/bench/bench_noise --qubits 10 --trials 400
-//   ./build/bench/bench_noise --qubits 32 --backend symmetry --trials 2000
+//   ./build/bench/bench_noise --qubits 10 --shots 400
+//   ./build/bench/bench_noise --qubits 32 --backend symmetry --shots 2000
 //   ./build/bench/bench_noise --noise dephasing --noise-p 0.01
 //
 // --backend symmetry runs the class-moment noise channel (qsim/backend.h),
@@ -16,71 +20,70 @@
 #include <iostream>
 #include <vector>
 
-#include <cmath>
-
+#include "api/api.h"
 #include "common/cli.h"
+#include "common/math.h"
 #include "common/table.h"
 #include "oracle/database.h"
 #include "partial/noisy.h"
-#include "partial/optimizer.h"
-#include "qsim/flags.h"
 
 int main(int argc, char** argv) {
   using namespace pqs;
   Cli cli(argc, argv);
-  const auto n = static_cast<unsigned>(
-      cli.get_int("qubits", 10, "address qubits"));
-  const auto k = static_cast<unsigned>(
-      cli.get_int("kbits", 2, "block bits"));
-  const auto trials = static_cast<std::uint64_t>(
-      cli.get_int("trials", 200, "trajectories per point"));
-  const auto engine = qsim::parse_engine_flags_with_noise(cli);
+  api::SpecFlagSet flags;
+  flags.algo = false;
+  flags.target = false;  // the demo target derives from the problem size
+  flags.shots = true;
+  flags.shots_default = 200;  // trajectories per point
+  flags.batch = true;
+  flags.noise = true;
+  flags.noise_default = "depolarizing";
+  flags.seed_default = 1234;
+  SearchSpec spec = api::parse_search_spec(cli, flags, "noisy",
+                                           /*default_qubits=*/10,
+                                           /*default_kbits=*/2,
+                                           /*default_target=*/0);
   if (cli.help_requested()) {
     std::cout << cli.help();
     return 0;
   }
   cli.finish();
+  spec.marked = {spec.n_items / 2 + 5};
 
-  const oracle::Database db =
-      oracle::Database::with_qubits(n, (std::uint64_t{1} << n) / 2 + 5);
-  Rng rng(1234);
-  partial::NoisyOptions options;
-  options.backend = engine.backend;
-  options.batch = engine.batch;
-  // One schedule for the whole sweep, size-aware (exact integer optimum at
-  // small n, asymptotic geometry past 2^24 items), paid for once.
-  const auto schedule = partial::optimize_schedule(
-      db.size(), std::uint64_t{1} << k,
-      1.0 - 1.0 / std::sqrt(static_cast<double>(db.size())));
-  options.l1 = schedule.l1;
-  options.l2 = schedule.l2;
-
-  std::cout << "ablation - per-query " << qsim::noise_kind_name(engine.noise.kind)
-            << " noise, block-question success (N = 2^" << n << ", K = 2^"
-            << k << ", " << trials << " trajectories/point)\n\n";
+  Engine engine;
+  std::cout << "ablation - per-query "
+            << qsim::noise_kind_name(spec.noise.kind)
+            << " noise, block-question success (N = " << spec.n_items
+            << ", K = " << spec.n_blocks << ", " << spec.shots
+            << " trajectories/point)\n\n";
 
   std::vector<double> rates{0.0, 0.001, 0.003, 0.01, 0.03, 0.1};
-  if (engine.noise.probability > 0.0) {
-    rates = {0.0, engine.noise.probability};
-  } else if (engine.noise.kind == qsim::NoiseKind::kNone) {
+  if (spec.noise.probability > 0.0) {
+    rates = {0.0, spec.noise.probability};
+  } else if (spec.noise.kind == qsim::NoiseKind::kNone) {
     rates = {0.0};  // clean baseline only: no channel means no noisy rows
   }
 
   Table table({"per-qubit error rate", "partial success", "partial queries",
-               "full-search success", "full queries",
-               "mean injected (partial)", "engine"});
+               "full-search success", "full queries", "plan", "engine"});
   for (const double p : rates) {
-    const qsim::NoiseModel model{engine.noise.kind, p};
-    const auto part =
-        partial::run_noisy_partial_search(db, k, model, trials, rng, options);
-    const auto full = partial::run_noisy_full_search_block(db, k, model,
-                                                           trials, rng,
-                                                           options);
-    table.add_row({Table::num(p, 4), Table::num(part.success_rate, 3),
+    spec.noise.probability = p;
+    const auto part = engine.run(spec);
+
+    const oracle::Database db(spec.n_items, spec.target());
+    Rng rng(spec.seed);
+    partial::NoisyOptions options;
+    options.backend = spec.backend;
+    options.batch = spec.batch;
+    const auto full = partial::run_noisy_full_search_block(
+        db, log2_exact(spec.n_blocks), spec.noise, spec.shots, rng, options);
+
+    table.add_row({Table::num(p, 4),
+                   Table::num(part.success_probability, 3),
                    Table::num(part.queries_per_trial),
                    Table::num(full.success_rate, 3),
                    Table::num(full.queries_per_trial),
-                   Table::num(part.mean_injected, 2),
+                   part.plan_cache_hit ? "cached" : "computed",
                    qsim::to_string(part.backend_used)});
   }
   std::cout << table.render();

@@ -7,64 +7,69 @@
 #include <cmath>
 #include <iostream>
 
+#include "api/api.h"
 #include "common/cli.h"
 #include "common/math.h"
 #include "common/table.h"
 #include "oracle/database.h"
 #include "partial/bounds.h"
 #include "partial/certainty.h"
-#include "qsim/flags.h"
 #include "reduction/reduction.h"
 
 int main(int argc, char** argv) {
   using namespace pqs;
   Cli cli(argc, argv);
-  const auto n = static_cast<unsigned>(
-      cli.get_int("qubits", 16, "address qubits"));
-  const auto engine = qsim::parse_engine_flags(cli);
+  api::SpecFlagSet flags;
+  flags.algo = false;
+  flags.target = false;  // the demo target derives from the problem size
+  flags.seed_default = 777;
+  SearchSpec spec = api::parse_search_spec(cli, flags, "reduction",
+                                           /*default_qubits=*/16,
+                                           /*default_kbits=*/2,
+                                           /*default_target=*/0);
   if (cli.help_requested()) {
     std::cout << cli.help();
     return 0;
   }
   cli.finish();
-  reduction::ReductionOptions reduction_options;
-  reduction_options.backend = engine.backend;
 
-  const std::uint64_t n_items = pow2(n);
+  const std::uint64_t n_items = spec.n_items;
   const double sqrt_n = std::sqrt(static_cast<double>(n_items));
-  Rng rng(777);
+  spec.marked = {n_items / 3};
 
+  Engine engine;
   std::cout << "R1 - Theorem 2: full search from iterated zero-error "
                "partial search (N = " << n_items << ")\n\n";
 
   Table table({"k/level", "measured total", "total/sqrt(N)",
-               "geometric bound", "Zalka floor (pi/4)sqrt(N)", "levels",
-               "correct"});
+               "geometric bound", "Zalka floor (pi/4)sqrt(N)", "correct"});
   for (const unsigned k : {1u, 2u, 3u, 4u}) {
-    const oracle::Database db =
-        oracle::Database::with_qubits(n, n_items / 3);
-    const auto result =
-        reduction::search_full_via_partial(db, k, rng, reduction_options);
+    spec.n_blocks = pow2(k);
+    const auto result = engine.run(spec);
 
     const auto top = partial::certainty_schedule(n_items, pow2(k));
     const double top_coeff = static_cast<double>(top.queries) / sqrt_n;
     table.add_row(
-        {Table::num(std::uint64_t{k}), Table::num(result.total_queries),
-         Table::num(static_cast<double>(result.total_queries) / sqrt_n, 3),
+        {Table::num(std::uint64_t{k}), Table::num(result.queries),
+         Table::num(static_cast<double>(result.queries) / sqrt_n, 3),
          Table::num(reduction::theorem2_query_bound(top_coeff, n_items,
                                                     pow2(k)),
                     0),
          Table::num(kQuarterPi * sqrt_n, 0),
-         Table::num(static_cast<std::uint64_t>(result.levels.size())),
          result.correct ? "yes" : "NO"});
   }
   std::cout << table.render();
 
-  // Per-level breakdown for one run.
+  // Per-level breakdown for one run — the level structure is the low-level
+  // driver's introspection surface (the facade report summarizes it in
+  // `detail`).
   Rng rng2(778);
-  const oracle::Database db = oracle::Database::with_qubits(n, 12345 % n_items);
+  const oracle::Database db =
+      oracle::Database(n_items, 12345 % n_items);
+  reduction::ReductionOptions level_options;
+  level_options.backend = spec.backend;
   const auto run =
-      reduction::search_full_via_partial(db, 2, rng2, reduction_options);
+      reduction::search_full_via_partial(db, 2, rng2, level_options);
   Table levels({"level", "db size", "bits fixed", "queries", "method"});
   levels.set_title("\nper-level breakdown (k = 2): each level costs ~1/sqrt(K) "
                    "of the previous");

@@ -9,6 +9,9 @@
 //               including symmetry-only rows far beyond dense reach (n=48)
 //   multi_shot  serial (1 thread) vs batched (--batch threads) multi-shot
 //               throughput through Simulator/BatchRunner
+//   facade      pqs::Engine::run(SearchSpec) vs the direct module call
+//               (dispatch + validation overhead of the service API) and the
+//               plan cache: cold vs warm Engine::plan on the same key
 //
 // Results print as a table and are written to BENCH_qsim.json (--json PATH)
 // so CI and regression tooling can diff them.
@@ -21,6 +24,7 @@
 #include <sstream>
 #include <vector>
 
+#include "api/api.h"
 #include "common/cli.h"
 #include "common/math.h"
 #include "common/table.h"
@@ -225,6 +229,63 @@ int main(int argc, char** argv) {
   std::cout << "mode agreement: serial block " << serial_report.mode
             << " vs batched block " << batch_report.mode << "\n";
 
+  // -- section 4: facade overhead + plan cache ------------------------------
+  const unsigned fac_n = quick ? 12u : 16u;
+  const unsigned fac_k = 2;
+  const qsim::Index fac_target = pow2(fac_n) / 3 + 1;
+  const Engine engine;
+  SearchSpec fac_spec =
+      SearchSpec::single_target(pow2(fac_n), pow2(fac_k), fac_target);
+  fac_spec.algorithm = "grk";
+
+  Stopwatch plan_watch;
+  const auto plan_cold = engine.plan(fac_spec);
+  const double plan_cold_seconds =
+      plan_cold.cache_hit ? 0.0 : plan_watch.seconds();
+  plan_watch.reset();
+  const auto plan_warm = engine.plan(fac_spec);
+  const double plan_warm_seconds = plan_watch.seconds();
+
+  const int fac_reps = 30;
+  // Warm both paths once (page in code, fill the plan cache), then time a
+  // fresh oracle + RNG + run per request on each — the same per-request
+  // work a module-level caller and a facade caller would actually do.
+  {
+    const oracle::Database db(pow2(fac_n), fac_target);
+    Rng rng(fac_spec.seed);
+    partial::GrkOptions options;
+    options.l1 = plan_cold.schedule.l1;
+    options.l2 = plan_cold.schedule.l2;
+    (void)partial::run_partial_search(db, fac_k, rng, options);
+    (void)engine.run(fac_spec);
+  }
+  watch.reset();
+  for (int r = 0; r < fac_reps; ++r) {
+    const oracle::Database db(pow2(fac_n), fac_target);
+    Rng rng(fac_spec.seed);
+    partial::GrkOptions options;
+    options.l1 = plan_cold.schedule.l1;
+    options.l2 = plan_cold.schedule.l2;
+    (void)partial::run_partial_search(db, fac_k, rng, options);
+  }
+  const double direct_seconds = watch.seconds() / fac_reps;
+  watch.reset();
+  for (int r = 0; r < fac_reps; ++r) {
+    (void)engine.run(fac_spec);
+  }
+  const double engine_seconds = watch.seconds() / fac_reps;
+  const double overhead =
+      engine_seconds / std::max(direct_seconds, 1e-12) - 1.0;
+
+  std::cout << "\nfacade (grk, n=" << fac_n << ", " << fac_reps
+            << " requests): direct " << Table::num(direct_seconds, 6)
+            << " s/req vs engine " << Table::num(engine_seconds, 6)
+            << " s/req -> overhead " << Table::num(overhead * 100.0, 2)
+            << "%\nplan cache: cold " << Table::num(plan_cold_seconds, 6)
+            << " s, warm " << Table::num(plan_warm_seconds, 9) << " s ("
+            << engine.planner().hits() << " hit(s), "
+            << engine.planner().misses() << " miss(es))\n";
+
   // -- JSON ----------------------------------------------------------------
   std::ofstream json(json_path);
   json << "{\n  \"bench\": \"qsim\",\n"
@@ -236,7 +297,15 @@ int main(int argc, char** argv) {
        << ", \"serial_seconds\": " << json_num(serial_seconds)
        << ", \"batch_seconds\": " << json_num(batch_seconds)
        << ", \"batch_threads\": " << probe.threads()
-       << ", \"speedup\": " << json_num(shot_speedup) << "}\n}\n";
+       << ", \"speedup\": " << json_num(shot_speedup) << "},\n"
+       << "  \"facade\": {\"n\": " << fac_n << ", \"k\": " << fac_k
+       << ", \"requests\": " << fac_reps
+       << ", \"direct_seconds_per_request\": " << json_num(direct_seconds)
+       << ", \"engine_seconds_per_request\": " << json_num(engine_seconds)
+       << ", \"overhead_fraction\": " << json_num(overhead)
+       << ", \"plan_cold_seconds\": " << json_num(plan_cold_seconds)
+       << ", \"plan_warm_seconds\": " << json_num(plan_warm_seconds)
+       << "}\n}\n";
   json.close();
   std::cout << "\nwrote " << json_path << "\n";
   return 0;

@@ -10,12 +10,12 @@
 #include <cmath>
 #include <iostream>
 
+#include "api/api.h"
 #include "common/cli.h"
 #include "common/math.h"
 #include "common/table.h"
 #include "common/timing.h"
 #include "grover/grover.h"
-#include "qsim/flags.h"
 #include "zalka/zalka.h"
 
 int main(int argc, char** argv) {
@@ -25,7 +25,10 @@ int main(int argc, char** argv) {
       cli.get_int("max-qubits", 9, "largest n to analyze"));
   // The hybrid argument manipulates full amplitude vectors; --backend
   // symmetry is rejected loudly by analyze_grover, never silently ignored.
-  const auto engine = qsim::parse_engine_flags(cli);
+  api::SpecFlagSet spec_flags;
+  spec_flags.algo = false;
+  spec_flags.problem = false;
+  SearchSpec spec = api::parse_search_spec(cli, spec_flags, "zalka");
   if (cli.help_requested()) {
     std::cout << cli.help();
     return 0;
@@ -42,7 +45,7 @@ int main(int argc, char** argv) {
   for (unsigned n = 4; n <= max_n; ++n) {
     const auto t = grover::optimal_iterations(pow2(n));
     zalka::ZalkaOptions options;
-    options.backend = engine.backend;
+    options.backend = spec.backend;
     options.lemma2_sample = 8;
     const auto report = zalka::analyze_grover(n, t, options);
     table.add_row(
@@ -75,6 +78,14 @@ int main(int argc, char** argv) {
                     Table::num(kQuarterPi * std::sqrt(nd), 1)});
   }
   std::cout << floors.render();
+
+  // The facade view of the same analysis: one "zalka" request.
+  Engine facade;
+  spec.n_items = pow2(6);
+  spec.n_blocks = 1;
+  spec.marked = {3};
+  const auto report = facade.run(spec);
+  std::cout << "\nfacade (--algo zalka, n = 6): " << report.detail << "\n";
   std::cout << "elapsed: " << timer.human() << "\n";
   return 0;
 }

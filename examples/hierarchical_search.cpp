@@ -1,62 +1,45 @@
 // Hierarchical search: recover the FULL address by fixing k bits at a time
 // with sure-success partial search (the Theorem-2 reduction run forward,
-// as an algorithm rather than a proof device).
+// as an algorithm rather than a proof device) — one "reduction" request
+// against the engine.
 //
 // Useful when answers are consumed progressively — e.g. routing: first pick
 // the rack, then the machine, then the slot — paying per level, with the
 // total still ~ sqrt(K)/(sqrt(K)-1) * c_K * sqrt(N).
 #include <iostream>
 
+#include "api/api.h"
 #include "common/cli.h"
 #include "common/math.h"
-#include "common/random.h"
-#include "common/table.h"
-#include "oracle/database.h"
-#include "qsim/flags.h"
-#include "reduction/reduction.h"
 
 int main(int argc, char** argv) {
   using namespace pqs;
   Cli cli(argc, argv);
-  const auto n = static_cast<unsigned>(
-      cli.get_int("qubits", 14, "address bits"));
-  const auto k = static_cast<unsigned>(
-      cli.get_int("kbits", 2, "bits fixed per level"));
-  const auto target = static_cast<qsim::Index>(
-      cli.get_int("target", 11213, "marked address"));
-  const auto engine = qsim::parse_engine_flags(cli);
+  api::SpecFlagSet flags;
+  flags.seed_default = 7;
+  SearchSpec spec = api::parse_search_spec(cli, flags, "reduction",
+                                           /*default_qubits=*/14,
+                                           /*default_kbits=*/2,
+                                           /*default_target=*/11213);
   if (cli.help_requested()) {
     std::cout << cli.help();
     return 0;
   }
   cli.finish();
 
-  const std::uint64_t n_items = pow2(n);
-  const oracle::Database db =
-      oracle::Database::with_qubits(n, target % n_items);
-  Rng rng(7);
+  std::cout << "hierarchical search of N = " << spec.n_items
+            << " addresses, " << log2_exact(spec.n_blocks)
+            << " bit(s) per level\n\n";
 
-  std::cout << "hierarchical search of N = " << n_items << " addresses, "
-            << k << " bit(s) per level\n\n";
+  Engine engine;
+  const auto report = engine.run(spec);
+  std::cout << report.to_string() << "\n";
 
-  reduction::ReductionOptions options;
-  options.backend = engine.backend;
-  const auto result = reduction::search_full_via_partial(db, k, rng, options);
-
-  Table table({"level", "sub-database", "bits fixed", "queries", "method"});
-  for (const auto& level : result.levels) {
-    table.add_row({Table::num(level.level), Table::num(level.db_size),
-                   Table::num(level.bits_fixed), Table::num(level.queries),
-                   level.via_partial_search ? "partial quantum search"
-                                            : "classical scan"});
-  }
-  std::cout << table.render();
-
-  std::cout << "\nfound address " << result.found
-            << (result.correct ? " (correct)" : " (WRONG)") << " in "
-            << result.total_queries << " total queries; a single full "
+  std::cout << "\nfound address " << report.measured
+            << (report.correct ? " (correct)" : " (WRONG)") << " in "
+            << report.queries << " total queries; a single full "
             << "Grover search would use "
-            << grover_optimal_iterations(n_items)
+            << grover_optimal_iterations(spec.n_items)
             << ".\nthe overhead factor sqrt(K)/(sqrt(K)-1) is the price of "
                "progressive answers - and inverting it is exactly how the "
                "paper proves its lower bound.\n";

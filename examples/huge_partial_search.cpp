@@ -1,94 +1,64 @@
-// Partial search far beyond dense-simulation reach: the symmetry backend
-// evolves the exact GRK dynamics in O(K) per iteration, so a 2^60-item
-// database is as cheap as a 2^10-item one. Batched shots fan out across
-// OpenMP threads with independent per-shot RNG streams.
+// Partial search far beyond dense-simulation reach, as ONE declarative
+// request: the engine plans the schedule (the plan cache switches to the
+// paper's asymptotic geometry at huge N, so planning stays instant), runs
+// the O(K)-per-step symmetry engine, and fans the measurement shots across
+// OpenMP threads. A second identical request shows the cache at work.
 //
 //   ./build/examples/huge_partial_search --qubits 60 --kbits 3 \
 //       --shots 1000 --backend symmetry --batch 0
 #include <cmath>
 #include <iostream>
 
+#include "api/api.h"
 #include "common/cli.h"
 #include "common/math.h"
 #include "common/table.h"
-#include "common/timing.h"
-#include "oracle/database.h"
-#include "partial/grk.h"
-#include "partial/optimizer.h"
-#include "qsim/backend.h"
-#include "qsim/batch.h"
 
 int main(int argc, char** argv) {
   using namespace pqs;
   Cli cli(argc, argv);
-  const auto n = static_cast<unsigned>(
-      cli.get_int("qubits", 48, "address bits (N = 2^n items; up to 62)"));
-  const auto k = static_cast<unsigned>(
-      cli.get_int("kbits", 3, "wanted bits (K = 2^k blocks)"));
-  const auto shots = static_cast<std::uint64_t>(
-      cli.get_int("shots", 1000, "measurement shots of the final state"));
-  const std::string backend_flag = cli.get_string(
-      "backend", "auto", "simulation engine (auto | dense | symmetry)");
-  const auto batch_threads = static_cast<unsigned>(cli.get_int(
-      "batch", 0, "threads for the shot fan-out (0 = all hardware threads)"));
+  api::SpecFlagSet flags;
+  flags.algo = false;
+  flags.shots = true;
+  flags.shots_default = 1000;
+  flags.batch = true;
+  SearchSpec spec = api::parse_search_spec(
+      cli, flags, "grk", /*default_qubits=*/48, /*default_kbits=*/3,
+      /*default_target=*/pow2(48) / 3 + 5);
   if (cli.help_requested()) {
     std::cout << cli.help();
     return 0;
   }
   cli.finish();
-  PQS_CHECK_MSG(n >= 2 && n <= 62, "need 2 <= qubits <= 62");
-  PQS_CHECK_MSG(k >= 1 && k < n, "need 1 <= kbits < qubits");
-  const qsim::BackendKind kind = qsim::parse_backend_kind(backend_flag);
 
-  const std::uint64_t n_items = pow2(n);
-  const std::uint64_t k_blocks = pow2(k);
-  const oracle::Database db(n_items, n_items / 3 + 5);
+  std::cout << "partial search over N = " << spec.n_items << " items, K = "
+            << spec.n_blocks << " blocks\n";
 
-  // The asymptotic schedule: the finite-N integer scan would itself cost
-  // O(sqrt(N) sqrt(N/K)), so at huge N we use the paper's closed form.
-  const auto opt = partial::optimize_epsilon(k_blocks);
-  const double sqrt_n = std::sqrt(static_cast<double>(n_items));
-  const double sqrt_block =
-      std::sqrt(static_cast<double>(n_items / k_blocks));
-  partial::GrkOptions options;
-  options.l1 = static_cast<std::uint64_t>(
-      std::llround(kQuarterPi * (1.0 - opt.epsilon) * sqrt_n));
-  options.l2 = static_cast<std::uint64_t>(std::llround(
-      (opt.angles.theta1 + opt.angles.theta2) / 2.0 * sqrt_block));
-  options.backend = kind;
-
-  std::cout << "partial search over N = 2^" << n << " = " << n_items
-            << " items, K = " << k_blocks << " blocks\n"
-            << "schedule: l1 = " << *options.l1 << " global + l2 = "
-            << *options.l2 << " local iterations + 1 (Step 3)\n";
-
-  Stopwatch evolve_watch;
-  const auto backend = partial::evolve_partial_search_on_backend(
-      db, k, *options.l1, *options.l2, kind);
-  const double evolve_seconds = evolve_watch.seconds();
-
-  const qsim::Index target_block = backend->target_block();
-  std::cout << "engine: " << to_string(backend->kind()) << ", evolved in "
-            << evolve_watch.human() << "\n"
-            << "target block " << target_block << " holds probability "
-            << Table::num(backend->block_probability(target_block), 12)
-            << " (target state itself: "
-            << Table::num(backend->marked_probability(), 12) << ")\n"
-            << "queries: " << db.queries() << " vs full Grover's ~"
-            << Table::num(kQuarterPi * sqrt_n, 0) << "\n\n";
-
-  const qsim::BatchRunner runner({.threads = batch_threads, .seed = 2005});
-  Stopwatch shot_watch;
-  const auto report = runner.sample_block_shots(*backend, shots,
-                                                db.queries());
-  std::cout << "batched block measurement (" << runner.threads()
-            << " thread(s), " << shot_watch.human() << "):\n"
-            << report.to_string() << "\n"
-            << (report.mode == target_block
-                    ? "=> the measured mode IS the target block"
-                    : "=> unexpected mode (should be vanishingly rare)")
+  Engine engine;
+  const auto report = engine.run(spec);
+  std::cout << "schedule: l1 = " << report.l1 << " global + l2 = "
+            << report.l2 << " local iterations + 1 (Step 3), planned in "
+            << Table::num(report.planning_seconds, 6) << " s\n"
+            << "engine: " << qsim::to_string(report.backend_used)
+            << ", evolved + " << report.trials << " shots in "
+            << Table::num(report.run_seconds, 6) << " s\n"
+            << "measured mode: block " << report.measured
+            << (report.correct ? " (the target block)" : " (UNEXPECTED)")
             << "\n"
-            << "evolution wall time: " << Table::num(evolve_seconds, 6)
-            << " s for " << db.queries() << " oracle queries\n";
+            << "success probability "
+            << Table::num(report.success_probability, 12) << "; queries "
+            << report.queries_per_trial << " vs full Grover's ~"
+            << Table::num(kQuarterPi *
+                              std::sqrt(static_cast<double>(spec.n_items)),
+                          0)
+            << "\n\n";
+
+  // The same request again: the engine plans in ~0 time off the cache.
+  const auto again = engine.run(spec);
+  std::cout << "same request again: plan "
+            << (again.plan_cache_hit ? "served from cache" : "recomputed")
+            << " (" << Table::num(again.planning_seconds, 6)
+            << " s planning, " << Table::num(again.run_seconds, 6)
+            << " s run)\n";
   return 0;
 }

@@ -7,23 +7,24 @@
 //    next 25%, the next 25%, or the bottom 25%. In other words, we want to
 //    know the first two bits of the rank."
 //
-// We build a 1024-student merit list, pick a student, and answer the
-// quartile question with partial quantum search — then show what the full
-// rank would have cost.
+// We build a 1024-student merit list, pick a student, and phrase the
+// quartile question as a declarative SearchSpec — the MERIT PREDICATE form:
+// the spec never names the rank, only the question "is this position held
+// by our student?", and the engine materializes the oracle from it.
 #include <iostream>
 
+#include "api/api.h"
 #include "common/cli.h"
-#include "common/random.h"
-#include "grover/exact.h"
-#include "grover/grover.h"
 #include "oracle/merit_list.h"
-#include "partial/certainty.h"
-#include "qsim/flags.h"
 
 int main(int argc, char** argv) {
   using namespace pqs;
   Cli cli(argc, argv);
-  const auto engine = qsim::parse_engine_flags(cli);
+  api::SpecFlagSet flags;
+  flags.algo = false;
+  flags.problem = false;
+  flags.seed_default = 42;
+  SearchSpec spec = api::parse_search_spec(cli, flags);
   if (cli.help_requested()) {
     std::cout << cli.help();
     return 0;
@@ -32,41 +33,47 @@ int main(int argc, char** argv) {
 
   constexpr std::uint64_t kStudents = 1024;
   const oracle::MeritList list(kStudents, /*seed=*/2005);
-  Rng rng(42);
 
   // Ask about a student (we don't know their rank; only the oracle does).
   const std::string student = list.name_at_rank(389);  // secretly rank 389
   std::cout << "merit list of " << kStudents << " students; asking about '"
             << student << "'\n\n";
 
-  // Quartile = first two bits of the rank -> partial search with k = 2.
-  const oracle::Database db = list.database_for(student);
-  const auto result =
-      partial::run_partial_search_certain(db, /*k=*/2, rng, engine.backend);
+  // Quartile = first two bits of the rank -> sure-success partial search
+  // with K = 4 blocks, phrased as a merit predicate.
+  Engine engine;
+  spec.algorithm = "certainty";
+  spec.n_items = kStudents;
+  spec.n_blocks = 4;
+  spec.marked.clear();
+  spec.predicate = [&](qsim::Index rank) {
+    return list.name_at_rank(rank) == student;
+  };
+
+  const auto quartile = engine.run(spec);
   std::cout << "quartile answer:  " << student << " is in the "
-            << oracle::MeritList::fraction_label(result.measured_block, 4)
+            << oracle::MeritList::fraction_label(quartile.measured, 4)
             << "\n";
-  std::cout << "cost:             " << db.queries()
+  std::cout << "cost:             " << quartile.queries
             << " oracle queries (probability-1 answer)\n\n";
 
-  // What the full rank would cost.
-  const oracle::Database db_full = list.database_for(student);
-  const auto full =
-      grover::search_exact(db_full, rng, {.backend = engine.backend});
+  // What the full rank would cost (same spec, full-address algorithm).
+  spec.algorithm = "exact";
+  spec.n_blocks = 1;
+  const auto full = engine.run(spec);
   std::cout << "full rank:        " << full.measured << " (exact), costing "
-            << db_full.queries() << " queries\n\n";
+            << full.queries << " queries\n\n";
 
-  std::cout << "partial search saved "
-            << (db_full.queries() - db.queries())
+  std::cout << "partial search saved " << (full.queries - quartile.queries)
             << " queries by answering only the question we asked.\n";
 
   // Finer bands: first three bits = which eighth of the class.
-  const oracle::Database db8 = list.database_for(student);
-  const auto eighth =
-      partial::run_partial_search_certain(db8, /*k=*/3, rng, engine.backend);
+  spec.algorithm = "certainty";
+  spec.n_blocks = 8;
+  const auto eighth = engine.run(spec);
   std::cout << "\nfiner answer:     the "
-            << oracle::MeritList::fraction_label(eighth.measured_block, 8)
-            << " cost " << db8.queries()
+            << oracle::MeritList::fraction_label(eighth.measured, 8)
+            << " cost " << eighth.queries
             << " queries - more bits, more queries, exactly as Theorem 1 "
                "prices them.\n";
   return 0;

@@ -1,41 +1,49 @@
 // Side-by-side cost comparison for YOUR problem size: how much cheaper is
-// knowing only the first k bits of the address?
+// knowing only the first k bits of the address? The GRK schedule comes
+// from Engine::plan — the same cached planner the service path uses — so
+// this is also the cost-preview workflow: plan first, run later, pay the
+// schedule search once.
 //
 //   ./build/examples/partial_vs_full --qubits 18 --kbits 3
 #include <cmath>
 #include <iostream>
 
+#include "api/api.h"
 #include "common/cli.h"
 #include "common/math.h"
 #include "common/table.h"
 #include "partial/bounds.h"
 #include "partial/certainty.h"
-#include "partial/optimizer.h"
 
 int main(int argc, char** argv) {
   using namespace pqs;
   Cli cli(argc, argv);
-  const auto n = static_cast<unsigned>(
-      cli.get_int("qubits", 16, "address bits (N = 2^n items)"));
-  const auto k = static_cast<unsigned>(
-      cli.get_int("kbits", 2, "wanted bits (K = 2^k blocks)"));
+  api::SpecFlagSet flags;
+  flags.algo = false;
+  SearchSpec spec = api::parse_search_spec(cli, flags, "grk",
+                                           /*default_qubits=*/16,
+                                           /*default_kbits=*/2,
+                                           /*default_target=*/0);
   if (cli.help_requested()) {
     std::cout << cli.help();
     return 0;
   }
   cli.finish();
-  PQS_CHECK_MSG(k >= 1 && k < n, "need 1 <= kbits < qubits");
+  PQS_CHECK_MSG(spec.n_blocks >= 2 && spec.n_blocks < spec.n_items,
+                "need 1 <= kbits < qubits");
 
-  const std::uint64_t n_items = pow2(n);
-  const std::uint64_t k_blocks = pow2(k);
+  const std::uint64_t n_items = spec.n_items;
+  const std::uint64_t k_blocks = spec.n_blocks;
   const double sqrt_n = std::sqrt(static_cast<double>(n_items));
+  const unsigned k = log2_exact(k_blocks);
 
   std::cout << "N = " << n_items << " items; you want the first " << k
             << " bit(s) of the marked address (" << k_blocks
             << " blocks)\n\n";
 
-  const auto grk =
-      partial::optimize_integer(n_items, k_blocks, 1.0 - 1.0 / sqrt_n);
+  Engine engine;
+  spec.min_success = 1.0 - 1.0 / sqrt_n;
+  const auto grk = engine.plan(spec);  // the cached planner's schedule
   const auto certain = partial::certainty_schedule(n_items, k_blocks);
 
   Table table({"method", "queries", "per sqrt(N)", "answer quality"});
@@ -54,9 +62,13 @@ int main(int argc, char** argv) {
                  Table::num(partial::naive_block_discard_coefficient(k_blocks),
                             3),
                  "block, small error"});
-  table.add_row({"GRK partial search (Sec. 3)", Table::num(grk.queries),
-                 Table::num(static_cast<double>(grk.queries) / sqrt_n, 3),
-                 "block, err <= " + Table::num(1.0 - grk.success, 5)});
+  table.add_row({"GRK partial search (Sec. 3)",
+                 Table::num(grk.schedule.queries),
+                 Table::num(static_cast<double>(grk.schedule.queries) /
+                                sqrt_n,
+                            3),
+                 "block, err <= " +
+                     Table::num(1.0 - grk.schedule.success, 5)});
   table.add_row({"GRK sure-success variant", Table::num(certain.queries),
                  Table::num(static_cast<double>(certain.queries) / sqrt_n, 3),
                  "block, certain"});
@@ -70,10 +82,13 @@ int main(int argc, char** argv) {
 
   const double saved =
       static_cast<double>(grover_optimal_iterations(n_items)) -
-      static_cast<double>(grk.queries);
+      static_cast<double>(grk.schedule.queries);
   std::cout << "\nsavings over full search: " << Table::num(saved, 0)
             << " queries ~ " << Table::num(saved / sqrt_n, 3)
-            << " sqrt(N) = Theta(sqrt(N/K)); schedule: l1 = " << grk.l1
-            << " global + l2 = " << grk.l2 << " local + 1 final query.\n";
+            << " sqrt(N) = Theta(sqrt(N/K)); schedule: l1 = "
+            << grk.schedule.l1 << " global + l2 = " << grk.schedule.l2
+            << " local + 1 final query (planned in "
+            << Table::num(grk.planning_seconds, 4) << " s, cached for "
+            << "every later request).\n";
   return 0;
 }

@@ -1,66 +1,64 @@
-// Quickstart: search a 4096-item database three ways.
-//
-//   1. Full quantum search (Grover): ~ (pi/4) sqrt(N) queries.
-//   2. Partial quantum search (this paper): you only want the first k bits
-//      of the address, and you get them CHEAPER.
-//   3. Sure-success partial search: same answer, probability exactly 1.
+// Quickstart: search a 4096-item database three ways, all through the ONE
+// declarative API — build a pqs::SearchSpec, hand it to pqs::Engine, read
+// the unified SearchReport. The engine owns the algorithm registry and the
+// plan cache; the per-module headers (grover/grover.h, partial/grk.h, ...)
+// remain the documented low-level layer underneath.
 //
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
 //   ./build/examples/quickstart
-//   ./build/examples/quickstart --backend symmetry   # same run, O(K) engine
+//   ./build/examples/quickstart --backend symmetry   # same runs, O(K) engine
 #include <iostream>
 
+#include "api/api.h"
 #include "common/cli.h"
-#include "common/random.h"
-#include "grover/grover.h"
-#include "oracle/database.h"
-#include "partial/certainty.h"
-#include "partial/grk.h"
-#include "qsim/flags.h"
 
 int main(int argc, char** argv) {
   using namespace pqs;
   Cli cli(argc, argv);
-  const auto engine = qsim::parse_engine_flags(cli);
+  // One spec carries the whole request; --backend/--seed parse into it.
+  api::SpecFlagSet flags;
+  flags.algo = false;
+  flags.problem = false;
+  flags.seed_default = 1;
+  SearchSpec spec = api::parse_search_spec(cli, flags);
   if (cli.help_requested()) {
     std::cout << cli.help();
     return 0;
   }
   cli.finish();
 
-  // A database of N = 2^12 items with one marked address. The Database
-  // counts every oracle query, classical or quantum.
-  constexpr unsigned kQubits = 12;
-  constexpr qsim::Index kTarget = 2731;  // 101010101011 in binary
-  const oracle::Database db = oracle::Database::with_qubits(kQubits, kTarget);
-  Rng rng(/*seed=*/1);
+  // A database of N = 2^12 items with one marked address; the engine builds
+  // the counted-query oracle from the spec on every run.
+  spec.n_items = 4096;
+  spec.marked = {2731};  // 101010101011 in binary
 
-  // --- 1. Full search -------------------------------------------------
-  const auto full = grover::search(db, rng, {.backend = engine.backend});
-  std::cout << "full search:      found address " << full.measured
-            << (full.correct ? " (correct)" : " (wrong!)") << " in "
-            << full.queries << " queries\n";
+  Engine engine;
 
-  // --- 2. Partial search ----------------------------------------------
-  // Only the first k = 2 bits: which quarter of the database is it in?
-  db.reset_queries();
-  const auto partial = partial::run_partial_search(
-      db, /*k=*/2, rng, {.backend = engine.backend});
-  std::cout << "partial search:   target is in quarter "
-            << partial.measured_block
-            << (partial.correct ? " (correct)" : " (wrong!)") << " in "
-            << partial.queries << " queries "
-            << "(success probability " << partial.block_probability << ")\n";
+  // --- 1. Full search (the whole address) ------------------------------
+  spec.algorithm = "grover";
+  spec.n_blocks = 1;
+  const auto full = engine.run(spec);
+  std::cout << "full search:      " << full.to_string() << "\n\n";
 
-  // --- 3. Sure-success partial search ----------------------------------
-  db.reset_queries();
-  const auto certain =
-      partial::run_partial_search_certain(db, /*k=*/2, rng, engine.backend);
-  std::cout << "sure-success:     target is in quarter "
-            << certain.measured_block << " in " << certain.schedule.queries
-            << " queries (probability " << certain.block_probability
-            << ")\n\n";
+  // --- 2. Partial search: which quarter of the database? ----------------
+  spec.algorithm = "grk";
+  spec.n_blocks = 4;  // first k = 2 bits
+  const auto partial = engine.run(spec);
+  std::cout << "partial search:   " << partial.to_string() << "\n\n";
+
+  // --- 3. Sure-success partial search -----------------------------------
+  spec.algorithm = "certainty";
+  const auto certain = engine.run(spec);
+  std::cout << "sure-success:     " << certain.to_string() << "\n\n";
+
+  // "auto" picks per the paper's cost model; with min_success = 1 it
+  // resolves to the sure-success variant.
+  spec.algorithm = "auto";
+  std::cout << "auto resolves to: " << engine.resolve_algorithm(spec)
+            << " (and with min_success = 1: ";
+  spec.min_success = 1.0;
+  std::cout << engine.resolve_algorithm(spec) << ")\n\n";
 
   std::cout << "the paper's point: " << partial.queries << " < "
             << full.queries

@@ -1,15 +1,21 @@
 // The Figure-1 walkthrough: partial quantum search of a twelve-item
-// database in two queries, stage by stage, exactly as drawn in the paper.
+// database in two queries — the headline run served by pqs::Engine (the
+// "twelve" registry entry; "auto" also picks it, because N = 12, K = 3 is
+// exactly the N = 4K/(K-2) shape), the stage-by-stage pictures from the
+// low-level partial/twelve.h trace API.
 #include <iostream>
 
+#include "api/api.h"
 #include "common/cli.h"
 #include "partial/twelve.h"
-#include "qsim/flags.h"
 
 int main(int argc, char** argv) {
   using namespace pqs;
   Cli cli(argc, argv);
-  const auto engine = qsim::parse_engine_flags(cli);
+  api::SpecFlagSet flags;
+  flags.algo = false;
+  flags.problem = false;
+  SearchSpec spec = api::parse_search_spec(cli, flags);
   if (cli.help_requested()) {
     std::cout << cli.help();
     return 0;
@@ -21,11 +27,24 @@ int main(int argc, char** argv) {
       "three blocks of four; we only want to know WHICH THIRD holds the "
       "target.\n\n";
 
-  const auto trace = partial::run_figure1(/*target=*/7, engine.backend);
+  // The amplitude pictures need the full per-stage vectors: that is the
+  // low-level trace API's job.
+  const auto trace = partial::run_figure1(/*target=*/7, spec.backend);
   std::cout << trace.render();
 
-  std::cout << "queries used:          " << trace.queries << "\n"
-            << "P(correct block):      " << trace.block_probability << "\n"
+  // The run itself is one declarative request.
+  Engine engine;
+  spec.n_items = 12;
+  spec.n_blocks = 3;
+  spec.marked = {7};
+  spec.algorithm = "auto";
+  std::cout << "auto resolves (N = 12, K = 3) to: "
+            << engine.resolve_algorithm(spec) << "\n";
+  const auto report = engine.run(spec);
+  std::cout << report.to_string() << "\n\n";
+
+  std::cout << "queries used:          " << report.queries << "\n"
+            << "P(correct block):      " << report.success_probability << "\n"
             << "P(target state):       " << trace.target_probability
             << "  (a free bonus: 3/4 of the time we get the exact item)\n\n";
 
@@ -43,6 +62,6 @@ int main(int argc, char** argv) {
               << "\n";
   }
   std::cout << "for all other shapes the paper's general three-step "
-               "algorithm (partial/grk.h) takes over.\n";
+               "algorithm (--algo grk) takes over.\n";
   return 0;
 }

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Header hygiene: every public header of the facade (src/api) and the
+# simulation substrate (src/qsim) must compile standalone — i.e. carry all
+# of its own includes. Catches the "works because some .cpp included X
+# first" rot that breaks downstream users who include one header.
+#
+# Usage: scripts/check_header_hygiene.sh [compiler]
+set -u
+cd "$(dirname "$0")/.."
+cxx="${1:-g++}"
+status=0
+for header in src/api/*.h src/api/algorithms/*.h src/qsim/*.h; do
+  rel="${header#src/}"
+  if ! echo "#include \"${rel}\"" | \
+       "${cxx}" -std=c++20 -fsyntax-only -Isrc -x c++ -; then
+    echo "NOT self-contained: ${header}"
+    status=1
+  fi
+done
+if [ "${status}" -eq 0 ]; then
+  echo "all public api/ and qsim/ headers are self-contained"
+fi
+exit "${status}"

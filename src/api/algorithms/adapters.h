@@ -1,0 +1,28 @@
+// Registration hooks of the built-in algorithm adapters (one thin adapter
+// file per driver module under src/api/algorithms/). Internal to the api
+// layer; user code reaches the adapters through
+// Registry::with_builtin_algorithms().
+#pragma once
+
+namespace pqs {
+
+class Registry;
+
+namespace api {
+
+void register_grover(Registry& registry);      // grover/grover.h
+void register_exact(Registry& registry);       // grover/exact.h
+void register_bbht(Registry& registry);        // grover/bbht.h
+void register_ampamp(Registry& registry);      // grover/amplitude_amplification.h
+void register_grk(Registry& registry);         // partial/grk.h
+void register_multi(Registry& registry);       // partial/multi.h
+void register_certainty(Registry& registry);   // partial/certainty.h
+void register_interleave(Registry& registry);  // partial/interleave.h
+void register_twelve(Registry& registry);      // partial/twelve.h
+void register_noisy(Registry& registry);       // partial/noisy.h
+void register_reduction(Registry& registry);   // reduction/reduction.h
+void register_zalka(Registry& registry);       // zalka/zalka.h
+void register_classical(Registry& registry);   // classical/search.h
+
+}  // namespace api
+}  // namespace pqs

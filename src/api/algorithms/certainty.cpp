@@ -1,0 +1,54 @@
+// Adapter: "certainty" — sure-success partial search (partial/certainty.h).
+#include <memory>
+
+#include "api/algorithms/adapter_util.h"
+#include "api/algorithms/adapters.h"
+#include "partial/certainty.h"
+
+namespace pqs::api {
+namespace {
+
+class CertaintyAlgorithm final : public Algorithm {
+ public:
+  std::string_view name() const override { return "certainty"; }
+  std::string_view summary() const override {
+    return "sure-success partial search: the block with probability "
+           "exactly 1, +O(1) queries over grk";
+  }
+
+  SearchReport run(RunContext& ctx) const override {
+    PQS_CHECK_MSG(ctx.spec.shots == 1,
+                  "\"certainty\" is sure-success; repeated shots add "
+                  "nothing (drop shots)");
+    const unsigned k = block_bits(ctx.spec);
+    const auto db = database_for(ctx);
+    const auto r =
+        partial::run_partial_search_certain(db, k, ctx.rng, ctx.spec.backend);
+    SearchReport report;
+    report.l1 = r.schedule.l1;
+    report.l2 = r.schedule.l2_plain + (r.schedule.generalized_needed ? 1 : 0);
+    report.measured = r.measured_block;
+    report.block_answer = true;
+    report.correct = r.correct;
+    report.queries = r.schedule.queries;
+    report.queries_per_trial = r.schedule.queries;
+    report.success_probability = r.block_probability;
+    report.backend_used = r.backend_used;
+    if (r.schedule.generalized_needed) {
+      report.detail = "final generalized iteration: oracle phase " +
+                      std::to_string(r.schedule.phases.oracle_phase) +
+                      ", diffusion phase " +
+                      std::to_string(r.schedule.phases.diffusion_phase);
+    }
+    return report;
+  }
+};
+
+}  // namespace
+
+void register_certainty(Registry& registry) {
+  registry.register_algorithm(
+      "certainty", [] { return std::make_unique<CertaintyAlgorithm>(); });
+}
+
+}  // namespace pqs::api

@@ -1,0 +1,55 @@
+// Adapter: "classical" — the zero-error randomized baselines (Section 1.1
+// / Appendix A, classical/search.h): full search for K = 1, partial search
+// for K >= 2.
+#include <memory>
+
+#include "api/algorithms/adapter_util.h"
+#include "api/algorithms/adapters.h"
+#include "classical/search.h"
+#include "oracle/blocks.h"
+
+namespace pqs::api {
+namespace {
+
+class ClassicalAlgorithm final : public Algorithm {
+ public:
+  std::string_view name() const override { return "classical"; }
+  std::string_view summary() const override {
+    return "zero-error randomized classical baseline: ~N/2 probes (full) "
+           "or ~N/2 (1 - 1/K^2) (partial)";
+  }
+
+  SearchReport run(RunContext& ctx) const override {
+    PQS_CHECK_MSG(ctx.spec.shots == 1,
+                  "\"classical\" runs a single zero-error scan; use the "
+                  "classical/montecarlo.h harness for trial statistics");
+    const auto db = database_for(ctx);
+    SearchReport report;
+    report.success_probability = 1.0;  // zero-error by construction
+    if (ctx.spec.n_blocks == 1) {
+      const auto r = classical::full_search_randomized(db, ctx.rng);
+      report.measured = r.answer;
+      report.correct = r.correct;
+      report.queries = r.probes;
+    } else {
+      const oracle::BlockLayout layout(db.size(), ctx.spec.n_blocks);
+      const auto r =
+          classical::partial_search_randomized(db, layout, ctx.rng);
+      report.measured = r.answer;
+      report.block_answer = true;
+      report.correct = r.correct;
+      report.queries = r.probes;
+    }
+    report.queries_per_trial = report.queries;
+    return report;
+  }
+};
+
+}  // namespace
+
+void register_classical(Registry& registry) {
+  registry.register_algorithm(
+      "classical", [] { return std::make_unique<ClassicalAlgorithm>(); });
+}
+
+}  // namespace pqs::api

@@ -1,0 +1,75 @@
+// Adapter: "grk" — the paper's three-step partial search (partial/grk.h),
+// with the schedule served from the Engine's plan cache.
+#include <memory>
+
+#include "api/algorithms/adapter_util.h"
+#include "api/algorithms/adapters.h"
+#include "partial/grk.h"
+#include "partial/optimizer.h"
+
+namespace pqs::api {
+namespace {
+
+class GrkAlgorithm final : public Algorithm {
+ public:
+  std::string_view name() const override { return "grk"; }
+  std::string_view summary() const override {
+    return "Grover-Radhakrishnan partial search: the target's block in "
+           "~(pi/4)(1 - c/sqrt(K)) sqrt(N) queries";
+  }
+
+  SearchReport run(RunContext& ctx) const override {
+    const unsigned k = block_bits(ctx.spec);
+    const auto db = database_for(ctx);
+
+    SearchReport report;
+    partial::GrkOptions options;
+    options.backend = ctx.spec.backend;
+    if (ctx.spec.l1.has_value() && ctx.spec.l2.has_value()) {
+      options.l1 = ctx.spec.l1;
+      options.l2 = ctx.spec.l2;
+    } else {
+      const double floor = effective_floor(
+          ctx.spec, partial::default_min_success(db.size()));
+      const Plan plan =
+          ctx.planner.schedule(db.size(), ctx.spec.n_blocks, floor);
+      options.l1 = ctx.spec.l1.value_or(plan.schedule.l1);
+      options.l2 = ctx.spec.l2.value_or(plan.schedule.l2);
+      report.plan_cache_hit = plan.cache_hit;
+      report.planning_seconds = plan.planning_seconds;
+    }
+    report.l1 = *options.l1;
+    report.l2 = *options.l2;
+
+    if (ctx.spec.shots == 1) {
+      const auto r = partial::run_partial_search(db, k, ctx.rng, options);
+      report.measured = r.measured_block;
+      report.block_answer = true;
+      report.correct = r.correct;
+      report.queries = r.queries;
+      report.queries_per_trial = r.queries;
+      report.success_probability = r.block_probability;
+      report.backend_used = r.backend_used;
+      return report;
+    }
+    const auto backend = partial::evolve_partial_search_on_backend(
+        db, k, *options.l1, *options.l2, ctx.spec.backend);
+    report.queries = db.queries();
+    report.queries_per_trial = report.queries;
+    report.success_probability =
+        backend->block_probability(backend->target_block());
+    report.backend_used = backend->kind();
+    measure_shots(report, *backend, ctx, /*block_answer=*/true,
+                  backend->target_block());
+    return report;
+  }
+};
+
+}  // namespace
+
+void register_grk(Registry& registry) {
+  registry.register_algorithm(
+      "grk", [] { return std::make_unique<GrkAlgorithm>(); });
+}
+
+}  // namespace pqs::api

@@ -1,0 +1,68 @@
+// Adapter: "multi" — partial search with a clustered multi-marked set
+// (partial/multi.h); the plan cache key carries M.
+#include <memory>
+
+#include "api/algorithms/adapter_util.h"
+#include "api/algorithms/adapters.h"
+#include "partial/multi.h"
+#include "partial/optimizer.h"
+
+namespace pqs::api {
+namespace {
+
+class MultiAlgorithm final : public Algorithm {
+ public:
+  std::string_view name() const override { return "multi"; }
+  std::string_view summary() const override {
+    return "multi-marked partial search (all marked items in one block); "
+           "costs shrink ~sqrt(M)";
+  }
+
+  SearchReport run(RunContext& ctx) const override {
+    PQS_CHECK_MSG(ctx.spec.shots == 1,
+                  "\"multi\" runs a single measured trial; drop shots");
+    const unsigned k = block_bits(ctx.spec);
+    const auto db = marked_database_for(ctx);
+
+    SearchReport report;
+    partial::MultiGrkOptions options;
+    options.backend = ctx.spec.backend;
+    if (ctx.spec.l1.has_value() && ctx.spec.l2.has_value()) {
+      options.l1 = ctx.spec.l1;
+      options.l2 = ctx.spec.l2;
+    } else {
+      const double floor = effective_floor(
+          ctx.spec, partial::default_min_success(db.size()));
+      const Plan plan = ctx.planner.schedule(db.size(), ctx.spec.n_blocks,
+                                             floor, db.num_marked());
+      options.l1 = ctx.spec.l1.value_or(plan.schedule.l1);
+      options.l2 = ctx.spec.l2.value_or(plan.schedule.l2);
+      report.plan_cache_hit = plan.cache_hit;
+      report.planning_seconds = plan.planning_seconds;
+    }
+    report.l1 = *options.l1;
+    report.l2 = *options.l2;
+
+    const auto r = partial::run_partial_search_multi(db, k, ctx.rng, options);
+    report.measured = r.measured_block;
+    report.block_answer = true;
+    report.correct = r.correct;
+    report.queries = r.queries;
+    report.queries_per_trial = r.queries;
+    report.success_probability = r.block_probability;
+    report.backend_used = r.backend_used;
+    report.detail = "marked-set probability " +
+                    std::to_string(r.marked_probability) + " over M=" +
+                    std::to_string(db.num_marked());
+    return report;
+  }
+};
+
+}  // namespace
+
+void register_multi(Registry& registry) {
+  registry.register_algorithm(
+      "multi", [] { return std::make_unique<MultiAlgorithm>(); });
+}
+
+}  // namespace pqs::api

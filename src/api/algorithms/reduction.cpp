@@ -1,0 +1,58 @@
+// Adapter: "reduction" — the Theorem-2 cascade: the FULL address, k bits
+// per level via sure-success partial search (reduction/reduction.h).
+#include <memory>
+#include <sstream>
+
+#include "api/algorithms/adapter_util.h"
+#include "api/algorithms/adapters.h"
+#include "reduction/reduction.h"
+
+namespace pqs::api {
+namespace {
+
+class ReductionAlgorithm final : public Algorithm {
+ public:
+  std::string_view name() const override { return "reduction"; }
+  std::string_view summary() const override {
+    return "full search via iterated partial search (Theorem 2), "
+           "log2(K) bits per level";
+  }
+
+  SearchReport run(RunContext& ctx) const override {
+    PQS_CHECK_MSG(ctx.spec.shots == 1,
+                  "\"reduction\" runs a single cascade; drop shots");
+    const unsigned k = block_bits(ctx.spec);
+    const auto db = database_for(ctx);
+    reduction::ReductionOptions options;
+    options.backend = ctx.spec.backend;
+    const auto r = reduction::search_full_via_partial(db, k, ctx.rng, options);
+
+    SearchReport report;
+    report.measured = r.found;
+    report.correct = r.correct;
+    report.queries = r.total_queries;
+    report.queries_per_trial = r.total_queries;
+    report.success_probability = r.correct ? 1.0 : 0.0;  // zero-error cascade
+    report.backend_used =
+        qsim::resolve_backend(ctx.spec.backend,
+                              qsim::BackendSpec::single_target(
+                                  db.size(), ctx.spec.n_blocks, db.target()));
+    std::ostringstream detail;
+    detail << r.levels.size() << " level(s):";
+    for (const auto& level : r.levels) {
+      detail << ' ' << level.queries
+             << (level.via_partial_search ? "q" : "q(scan)");
+    }
+    report.detail = detail.str();
+    return report;
+  }
+};
+
+}  // namespace
+
+void register_reduction(Registry& registry) {
+  registry.register_algorithm(
+      "reduction", [] { return std::make_unique<ReductionAlgorithm>(); });
+}
+
+}  // namespace pqs::api

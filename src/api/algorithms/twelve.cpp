@@ -1,0 +1,68 @@
+// Adapter: "twelve" — the paper's Figure-1 two-query pattern
+// (partial/twelve.h), runnable on any (N, K) with K | N (exact success
+// iff N = 4K/(K-2), e.g. the paper's N=12, K=3).
+#include <memory>
+
+#include "api/algorithms/adapter_util.h"
+#include "api/algorithms/adapters.h"
+#include "partial/twelve.h"
+
+namespace pqs::api {
+namespace {
+
+class TwelveAlgorithm final : public Algorithm {
+ public:
+  std::string_view name() const override { return "twelve"; }
+  std::string_view summary() const override {
+    return "Figure-1 two-query pattern (exact when N = 4K/(K-2), as for "
+           "N=12, K=3)";
+  }
+
+  SearchReport run(RunContext& ctx) const override {
+    PQS_CHECK_MSG(ctx.spec.n_blocks >= 3,
+                  "the two-query pattern needs K >= 3 blocks (N = "
+                  "4K/(K-2) has no K <= 2 solution)");
+    const auto db = database_for(ctx);
+
+    // The five-stage pattern of Figure 1 (B and D are the two queries).
+    auto backend = qsim::make_backend(
+        ctx.spec.backend, qsim::BackendSpec::single_target(
+                              db.size(), ctx.spec.n_blocks, db.target()));
+    db.add_queries(1);
+    backend->apply_oracle();            // (B)
+    backend->apply_block_diffusion();   // (C)
+    db.add_queries(1);
+    backend->apply_oracle();            // (D)
+    backend->apply_global_diffusion();  // (E)
+
+    SearchReport report;
+    report.queries = 2;
+    report.queries_per_trial = 2;
+    report.success_probability =
+        backend->block_probability(backend->target_block());
+    report.backend_used = backend->kind();
+    if (4 * ctx.spec.n_blocks != ctx.spec.n_items * (ctx.spec.n_blocks - 2)) {
+      report.detail = "shape is not N = 4K/(K-2): two queries are not "
+                      "exact here (see partial/grk.h for the general "
+                      "algorithm)";
+    }
+    if (ctx.spec.shots == 1) {
+      report.measured = backend->sample_block(ctx.rng);
+      report.block_answer = true;
+      report.correct = report.measured == backend->target_block();
+      return report;
+    }
+    measure_shots(report, *backend, ctx, /*block_answer=*/true,
+                  backend->target_block());
+    return report;
+  }
+};
+
+}  // namespace
+
+void register_twelve(Registry& registry) {
+  registry.register_algorithm(
+      "twelve", [] { return std::make_unique<TwelveAlgorithm>(); });
+}
+
+}  // namespace pqs::api

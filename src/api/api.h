@@ -1,0 +1,12 @@
+// Umbrella header of the facade layer: the declarative request/response
+// types, the engine, and the registry. This is the API a downstream user
+// reaches for first; the per-module headers (grover/, partial/, ...) stay
+// the documented low-level layer underneath, and src/qsim/ the simulation
+// substrate below that.
+#pragma once
+
+#include "api/engine.h"
+#include "api/flags.h"
+#include "api/planner.h"
+#include "api/registry.h"
+#include "api/search_spec.h"

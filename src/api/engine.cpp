@@ -1,0 +1,114 @@
+#include "api/engine.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math.h"
+#include "common/timing.h"
+#include "partial/optimizer.h"
+
+namespace pqs {
+
+namespace {
+
+/// Quantum cost of answering the spec's question, per the paper's closed
+/// forms: (pi/4) sqrt(N/M) for the full address, c_K sqrt(N/M) for the
+/// block (c_K the Section-3.1 coefficient).
+double quantum_query_estimate(std::uint64_t n_items, std::uint64_t n_blocks,
+                              std::uint64_t n_marked) {
+  const double root =
+      std::sqrt(static_cast<double>(n_items) / static_cast<double>(n_marked));
+  if (n_blocks <= 1) {
+    return kQuarterPi * root;
+  }
+  return partial::recipe_coefficient(n_blocks) * root;
+}
+
+/// Classical cost of the same question: N/2 probes for the full address,
+/// Appendix A's N/2 (1 - 1/K^2) for the block (unique target).
+double classical_query_estimate(std::uint64_t n_items,
+                                std::uint64_t n_blocks) {
+  const auto n = static_cast<double>(n_items);
+  if (n_blocks <= 1) {
+    return (n + 1.0) / 2.0;
+  }
+  const auto k = static_cast<double>(n_blocks);
+  return n / 2.0 * (1.0 - 1.0 / (k * k));
+}
+
+}  // namespace
+
+std::string Engine::resolve_algorithm(const SearchSpec& spec) const {
+  return resolve_algorithm(spec, spec.resolve_marked().size());
+}
+
+std::string Engine::resolve_algorithm(const SearchSpec& spec,
+                                      std::uint64_t m) const {
+  // Noise only has a Monte-Carlo driver, and it answers the block question.
+  if (spec.noise.enabled()) {
+    PQS_CHECK_MSG(spec.n_blocks >= 2,
+                  "auto: noisy runs answer the block question; set "
+                  "n_blocks >= 2 (or name an algorithm explicitly)");
+    return "noisy";
+  }
+
+  // The paper's Section-1 comparison: when the classical zero-error scan
+  // is at least as cheap as the quantum estimate (tiny N), serve it.
+  if (classical_query_estimate(spec.n_items, spec.n_blocks) <=
+      quantum_query_estimate(spec.n_items, spec.n_blocks, m)) {
+    return "classical";
+  }
+
+  if (spec.n_blocks <= 1) {
+    // Full address wanted.
+    if (m > 1) {
+      return "ampamp";
+    }
+    return spec.min_success >= 1.0 ? "exact" : "grover";
+  }
+  // Block wanted.
+  if (m > 1) {
+    return "multi";
+  }
+  // The Figure-1 shape: two queries answer the block question exactly.
+  if (spec.n_blocks > 2 &&
+      spec.n_items * (spec.n_blocks - 2) == 4 * spec.n_blocks) {
+    return "twelve";
+  }
+  return spec.min_success >= 1.0 ? "certainty" : "grk";
+}
+
+Plan Engine::plan(const SearchSpec& spec) const {
+  spec.validate_knobs();
+  const auto marked = spec.resolve_marked();  // the one predicate scan
+  const double floor =
+      spec.min_success > 0.0 ? spec.min_success
+                             : partial::default_min_success(spec.n_items);
+  return planner_.schedule(spec.n_items, spec.n_blocks, floor,
+                           marked.size());
+}
+
+SearchReport Engine::run(const SearchSpec& spec) const {
+  spec.validate_knobs();
+  const auto marked = spec.resolve_marked();  // the one predicate scan
+  const std::string resolved = spec.algorithm == "auto"
+                                   ? resolve_algorithm(spec, marked.size())
+                                   : spec.algorithm;
+  const Algorithm& algorithm = registry_.find(resolved);
+  PQS_CHECK_MSG(!spec.noise.enabled() || algorithm.supports_noise(),
+                "algorithm \"" + resolved + "\" cannot honor spec.noise; "
+                "use \"noisy\" (or clear the noise model)");
+
+  Rng rng(spec.seed);
+  RunContext ctx{spec, marked, planner_, rng};
+  Stopwatch watch;
+  SearchReport report = algorithm.run(ctx);
+  report.run_seconds = watch.seconds() - report.planning_seconds;
+  report.algorithm = resolved;
+  if (report.trials == 0) {
+    report.trials = 1;
+  }
+  return report;
+}
+
+}  // namespace pqs

@@ -1,0 +1,69 @@
+// pqs::Engine — the long-lived search service.
+//
+// One Engine serves every algorithm in the repository through a single
+// declarative call:
+//
+//   pqs::Engine engine;                       // built-in registry
+//   auto spec = pqs::SearchSpec::single_target(4096, 4, 2731);
+//   spec.algorithm = "grk";                   // or "auto"
+//   const pqs::SearchReport report = engine.run(spec);
+//
+// The Engine owns the algorithm registry (every driver invocable by name)
+// and the plan cache (memoized optimizer schedules behind a shared mutex),
+// and is safe to share across threads: run() is const, every request gets
+// its own oracle and RNG (seeded from spec.seed), and the only shared
+// mutable state is the internally synchronized cache. That is the shape a
+// production deployment needs — one warm engine per process, requests from
+// many sessions, repeated specs skipping the seconds-long schedule search.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "api/planner.h"
+#include "api/registry.h"
+#include "api/search_spec.h"
+
+namespace pqs {
+
+class Engine {
+ public:
+  /// An engine over the built-in registry (all 13 drivers).
+  Engine() : Engine(Registry::with_builtin_algorithms()) {}
+  /// An engine over a caller-assembled registry (custom algorithms).
+  explicit Engine(Registry registry) : registry_(std::move(registry)) {}
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Execute one request. Validates the spec, resolves "auto", runs the
+  /// adapter, and stamps the timing / resolved-name fields. Thread-safe.
+  SearchReport run(const SearchSpec& spec) const;
+
+  /// The algorithm "auto" resolves to for this spec, per the paper's cost
+  /// model (Section 1's classical-vs-quantum comparison, the sure-success
+  /// and multi-marked variants where they apply). Deterministic pure
+  /// function of the spec.
+  std::string resolve_algorithm(const SearchSpec& spec) const;
+
+  /// The same decision given an already-materialized marked set (run()
+  /// uses this so a predicate spec is scanned exactly once per request).
+  std::string resolve_algorithm(const SearchSpec& spec,
+                                std::uint64_t n_marked) const;
+
+  /// The (cached) schedule the partial searchers would run for this spec,
+  /// without executing anything — for cost previews and capacity planning.
+  Plan plan(const SearchSpec& spec) const;
+
+  const Registry& registry() const { return registry_; }
+  const Planner& planner() const { return planner_; }
+  std::vector<std::string> algorithm_names() const {
+    return registry_.names();
+  }
+
+ private:
+  Registry registry_;
+  mutable Planner planner_;
+};
+
+}  // namespace pqs

@@ -1,0 +1,47 @@
+#include "api/planner.h"
+
+#include <mutex>
+
+#include "common/timing.h"
+
+namespace pqs {
+
+Plan Planner::schedule(std::uint64_t n_items, std::uint64_t n_blocks,
+                       double min_success, std::uint64_t n_marked) const {
+  const PlanKey key{n_items, n_blocks, n_marked, min_success};
+  {
+    std::shared_lock lock(mutex_);
+    if (const auto it = cache_.find(key); it != cache_.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return Plan{it->second, /*cache_hit=*/true, 0.0};
+    }
+  }
+
+  // Miss: search outside the lock so one slow plan does not serialize every
+  // other request. optimize_schedule is deterministic, so racing computers
+  // agree and first-writer-wins below is safe.
+  Stopwatch watch;
+  const auto schedule =
+      partial::optimize_schedule(n_items, n_blocks, min_success, n_marked);
+  const double seconds = watch.seconds();
+  misses_.fetch_add(1, std::memory_order_relaxed);
+
+  std::unique_lock lock(mutex_);
+  const auto [it, inserted] = cache_.emplace(key, schedule);
+  (void)inserted;  // a concurrent miss may have landed first; same value
+  return Plan{it->second, /*cache_hit=*/false, seconds};
+}
+
+std::uint64_t Planner::size() const {
+  std::shared_lock lock(mutex_);
+  return cache_.size();
+}
+
+void Planner::clear() {
+  std::unique_lock lock(mutex_);
+  cache_.clear();
+  hits_.store(0);
+  misses_.store(0);
+}
+
+}  // namespace pqs

@@ -1,0 +1,67 @@
+// The cached schedule planner.
+//
+// Planning a partial-search schedule is an O(sqrt(N) * sqrt(N/K)) model
+// search (partial/optimizer.h) — seconds of CPU at n = 32 — while running
+// the planned schedule on the symmetry engine is microseconds. A service
+// answering repeated requests must therefore never re-derive a schedule it
+// has already derived: Planner memoizes optimize_schedule results keyed by
+// (N, K, M, min_success) behind a shared mutex, so concurrent Engine::run
+// calls share one deterministic plan and repeated specs skip the search
+// entirely (the second request's planning time is ~0).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <shared_mutex>
+
+#include "partial/optimizer.h"
+
+namespace pqs {
+
+/// The cache key: everything optimize_schedule's answer depends on.
+struct PlanKey {
+  std::uint64_t n_items = 0;
+  std::uint64_t n_blocks = 0;
+  std::uint64_t n_marked = 1;
+  double min_success = 0.0;
+
+  friend bool operator<(const PlanKey& a, const PlanKey& b) {
+    if (a.n_items != b.n_items) return a.n_items < b.n_items;
+    if (a.n_blocks != b.n_blocks) return a.n_blocks < b.n_blocks;
+    if (a.n_marked != b.n_marked) return a.n_marked < b.n_marked;
+    return a.min_success < b.min_success;
+  }
+};
+
+/// One planning answer plus how this lookup got it.
+struct Plan {
+  partial::IntegerOptimum schedule;
+  bool cache_hit = false;         ///< this lookup was served from the cache
+  double planning_seconds = 0.0;  ///< time spent searching (~0 on a hit)
+};
+
+/// Thread-safe memoized schedule planner. const methods are safe to call
+/// concurrently; the cache is internally synchronized.
+class Planner {
+ public:
+  /// The (possibly cached) schedule for (N, K, M, min_success). On a miss
+  /// the optimize_schedule search runs OUTSIDE any lock (concurrent misses
+  /// on the same key may race to compute; the result is deterministic, so
+  /// first-writer-wins is safe and every caller returns the same plan).
+  Plan schedule(std::uint64_t n_items, std::uint64_t n_blocks,
+                double min_success, std::uint64_t n_marked = 1) const;
+
+  std::uint64_t hits() const { return hits_.load(); }
+  std::uint64_t misses() const { return misses_.load(); }
+  std::uint64_t size() const;
+  void clear();
+
+ private:
+  mutable std::shared_mutex mutex_;
+  mutable std::map<PlanKey, partial::IntegerOptimum> cache_;
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace pqs

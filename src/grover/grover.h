@@ -16,9 +16,9 @@ namespace pqs::grover {
 
 /// Engine selection for the search pipelines. kAuto keeps the historical
 /// dense path whenever the state fits in memory and switches to the O(1)
-/// symmetry engine beyond (n > 30 qubits — Grover's state is the K = 1
-/// special case of the block symmetry: one amplitude on the target, one on
-/// everything else).
+/// symmetry engine beyond qsim::auto_backend_cutoff() items — Grover's
+/// state is the K = 1 special case of the block symmetry: one amplitude on
+/// the target, one on everything else.
 struct SearchOptions {
   qsim::BackendKind backend = qsim::BackendKind::kAuto;
 };

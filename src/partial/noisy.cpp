@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <functional>
+#include <map>
 #include <vector>
 
 #include "common/check.h"
@@ -54,12 +55,21 @@ NoisyRunResult run_trials(
   result.queries_per_trial = queries.front();
   std::uint64_t correct = 0;
   std::uint64_t injected_total = 0;
+  std::map<qsim::Index, std::uint64_t> counts;
   for (std::uint64_t t = 0; t < trials; ++t) {
     // Every trial runs the same schedule; the meter below is exact only
     // because this holds.
     PQS_CHECK(queries[t] == result.queries_per_trial);
     correct += outcomes[t] == target_block ? 1 : 0;
     injected_total += injected[t];
+    ++counts[outcomes[t]];
+  }
+  std::uint64_t modal_count = 0;
+  for (const auto& [block, count] : counts) {  // ascending: ties -> smallest
+    if (count > modal_count) {
+      modal_count = count;
+      result.modal_block = block;
+    }
   }
   db.add_queries(trials * result.queries_per_trial);
   result.success_rate =

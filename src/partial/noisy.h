@@ -52,6 +52,10 @@ struct NoisyRunResult {
   /// (regression-pinned in tests/test_noise).
   std::uint64_t queries_per_trial = 0;
   double success_rate = 0.0;     ///< fraction of trials answering correctly
+  /// The block measured most often across the trials (ties resolve to the
+  /// smallest index) — the aggregate's actual answer, which equals the
+  /// target block iff the majority of trajectories got it right.
+  qsim::Index modal_block = 0;
   double mean_injected = 0.0;    ///< average Pauli errors injected per trial
   qsim::BackendKind backend_used = qsim::BackendKind::kDense;
 };

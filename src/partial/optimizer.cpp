@@ -127,21 +127,25 @@ IntegerOptimum optimize_integer(std::uint64_t n_items, std::uint64_t k_blocks,
 
 IntegerOptimum optimize_schedule(std::uint64_t n_items,
                                  std::uint64_t k_blocks, double min_success,
+                                 std::uint64_t n_marked,
                                  std::uint64_t exact_limit) {
   if (n_items <= exact_limit) {
-    return optimize_integer(n_items, k_blocks, min_success);
+    return optimize_integer(n_items, k_blocks, min_success, n_marked);
   }
+  // Asymptotic geometry; M marked items shrink both angles by sqrt(M)
+  // (sin(theta) = sqrt(M/N), the multi-target Grover angle).
   const EpsilonOptimum eps = optimize_epsilon(k_blocks);
-  const double sqrt_n = std::sqrt(static_cast<double>(n_items));
+  const double m = static_cast<double>(n_marked);
+  const double sqrt_n = std::sqrt(static_cast<double>(n_items) / m);
   const double sqrt_block =
-      std::sqrt(static_cast<double>(n_items / k_blocks));
+      std::sqrt(static_cast<double>(n_items / k_blocks) / m);
   IntegerOptimum out;
   out.l1 = static_cast<std::uint64_t>(
       std::llround(kQuarterPi * (1.0 - eps.epsilon) * sqrt_n));
   out.l2 = static_cast<std::uint64_t>(std::llround(
       (eps.angles.theta1 + eps.angles.theta2) / 2.0 * sqrt_block));
   out.queries = out.l1 + out.l2 + 1;
-  const SubspaceModel model(n_items, k_blocks);
+  const SubspaceModel model(n_items, k_blocks, n_marked);
   out.success = model.run_grk(out.l1, out.l2).target_block_probability();
   return out;
 }

@@ -62,21 +62,28 @@ IntegerOptimum optimize_integer(std::uint64_t n_items, std::uint64_t k_blocks,
                                 double min_success,
                                 std::uint64_t n_marked = 1);
 
+/// Largest N for which optimize_schedule runs the exact integer scan by
+/// default (the scan is O(sqrt(N) * sqrt(N/K))).
+inline constexpr std::uint64_t kDefaultExactLimit = std::uint64_t{1} << 24;
+
 /// Size-aware schedule choice: the exact integer optimum while its
 /// O(sqrt(N) * sqrt(N/K)) scan stays affordable (n_items <= exact_limit),
 /// the asymptotic optimize_epsilon geometry beyond —
-///   l1 = round((pi/4)(1 - eps*) sqrt(N)),
-///   l2 = round(sqrt(N/K)/2 (theta1 + theta2)),
-/// accurate to O(1) queries at those sizes (success is evaluated on the
-/// exact subspace model either way; the min_success floor is enforced only
-/// on the exact branch — beyond it the asymptotic schedule's success is
-/// reported as-is, ~1 - O(1/sqrt(N))). This is what the noisy Monte-Carlo
-/// drivers use by default: without it, a single n = 32 sweep point would
-/// spend ~20 s inside the integer scan before simulating anything.
+///   l1 = round((pi/4)(1 - eps*) sqrt(N / M)),
+///   l2 = round(sqrt((N/K) / M)/2 (theta1 + theta2)),
+/// accurate to O(1) queries at those sizes (the sqrt(M) shrink is the
+/// multi-marked generalization; success is evaluated on the exact subspace
+/// model either way; the min_success floor is enforced only on the exact
+/// branch — beyond it the asymptotic schedule's success is reported as-is,
+/// ~1 - O(1/sqrt(N))). This is what the noisy Monte-Carlo drivers and the
+/// pqs::Engine plan cache use by default: without it, a single n = 32
+/// sweep point would spend ~20 s inside the integer scan before simulating
+/// anything.
 IntegerOptimum optimize_schedule(std::uint64_t n_items,
                                  std::uint64_t k_blocks, double min_success,
-                                 std::uint64_t exact_limit = std::uint64_t{1}
-                                                             << 24);
+                                 std::uint64_t n_marked = 1,
+                                 std::uint64_t exact_limit =
+                                     kDefaultExactLimit);
 
 /// The success floor used throughout the reproduction when none is given:
 /// 1 - 4/sqrt(N) (the paper's guarantee is 1 - O(1/sqrt(N))).

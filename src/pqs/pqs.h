@@ -3,6 +3,10 @@
 // subsystem headers remain the fine-grained option.
 #pragma once
 
+// The facade: declarative SearchSpec/SearchReport served by pqs::Engine
+// over the algorithm registry and the plan cache.
+#include "api/api.h"
+
 // Infrastructure.
 #include "common/check.h"
 #include "common/cli.h"

@@ -590,8 +590,8 @@ class SymmetryBackend final : public Backend {
 
 BackendKind resolve_backend(BackendKind kind, const BackendSpec& spec) {
   if (kind == BackendKind::kAuto) {
-    kind = spec.n_items <= kMaxDenseItems ? BackendKind::kDense
-                                          : BackendKind::kSymmetry;
+    kind = spec.n_items <= auto_backend_cutoff() ? BackendKind::kDense
+                                                 : BackendKind::kSymmetry;
   }
   if (kind == BackendKind::kDense) {
     PQS_CHECK_MSG(spec.n_items <= kMaxDenseItems,

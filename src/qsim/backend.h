@@ -68,6 +68,13 @@ std::string to_string(BackendKind kind);
 /// qubit ceiling).
 inline constexpr std::uint64_t kMaxDenseItems = std::uint64_t{1} << kMaxQubits;
 
+/// The kAuto dense -> symmetry crossover: databases up to this many items
+/// resolve to the dense engine (bit-identical to the historical code paths),
+/// larger ones to the O(K) symmetry engine. The ONE definition of the
+/// cutoff — module headers (grover/grover.h, partial/grk.h, ...) reference
+/// this function instead of restating the 2^30 constant.
+constexpr std::uint64_t auto_backend_cutoff() { return kMaxDenseItems; }
+
 /// The static shape of a simulation: database size, block structure, and the
 /// marked set. Blocks are the K contiguous ranges of N/K addresses; for the
 /// power-of-two case this coincides with the paper's "first k bits of the

@@ -5,6 +5,25 @@
 
 namespace pqs::qsim {
 
+namespace {
+
+/// One noise trajectory of `circuit` on an engine-agnostic backend: every
+/// op applies through the backend dispatch, with a noise sample after each
+/// query-consuming op (the same noise points the dense path uses).
+void execute_with_noise(Backend& backend, const Circuit& circuit,
+                        const NoiseModel& model, Rng& rng) {
+  for (const auto& op : circuit.ops()) {
+    Circuit single(circuit.num_qubits());
+    single.add(op);
+    apply_circuit(backend, single);
+    if (op_query_cost(op) > 0) {
+      backend.apply_noise(model, rng);
+    }
+  }
+}
+
+}  // namespace
+
 Simulator::Simulator(std::uint64_t seed) : rng_(seed) {}
 
 void Simulator::reseed(std::uint64_t seed) { rng_ = Rng(seed); }
@@ -28,16 +47,12 @@ StateVector Simulator::execute(const Circuit& circuit,
   return state;
 }
 
-std::unique_ptr<Backend> Simulator::symmetry_engine(
+std::optional<BackendSpec> Simulator::symmetry_spec_for(
     const Circuit& circuit, const OracleView& oracle,
     std::optional<unsigned> measure_k) const {
   if (backend_kind_ != BackendKind::kSymmetry) {
-    return nullptr;
+    return std::nullopt;
   }
-  PQS_CHECK_MSG(!noise_.enabled(),
-                "Simulator noise trajectories run per-shot on the dense "
-                "engine; use the dense backend here, or the algorithm-level "
-                "noisy drivers (partial/noisy.h) for symmetry-engine noise");
   auto spec = symmetric_spec(circuit, oracle);
   PQS_CHECK_MSG(spec.has_value(),
                 "circuit/oracle pair is not block-symmetric; use the dense "
@@ -51,9 +66,14 @@ std::unique_ptr<Backend> Simulator::symmetry_engine(
                   "block measurement granularity does not match the "
                   "circuit's block structure");
   }
-  auto backend = make_backend(BackendKind::kSymmetry, *spec);
-  apply_circuit(*backend, circuit);
-  return backend;
+  if (noise_.enabled()) {
+    // The class-moment channel needs the single-target power-of-two split;
+    // reject unsupported shapes before any shot runs (and before the
+    // fan-out: a throw inside an OpenMP region terminates the process).
+    require_noise_support(BackendKind::kSymmetry, *spec,
+                          "Simulator noise on the symmetry engine");
+  }
+  return spec;
 }
 
 BatchRunner Simulator::make_runner() {
@@ -74,8 +94,21 @@ ShotReport Simulator::run_shots(const Circuit& circuit,
   PQS_CHECK(shots > 0);
   const BatchRunner runner = make_runner();
   const std::uint64_t queries = circuit.query_count();
-  if (const auto backend = symmetry_engine(circuit, oracle, {})) {
-    return runner.sample_shots(*backend, shots, queries);
+  if (const auto spec = symmetry_spec_for(circuit, oracle, {})) {
+    if (!noise_.enabled()) {
+      // One execution, many parallel samples.
+      const auto backend = make_backend(BackendKind::kSymmetry, *spec);
+      apply_circuit(*backend, circuit);
+      return runner.sample_shots(*backend, shots, queries);
+    }
+    // Fresh class-moment trajectory per shot, each on its own RNG stream.
+    const auto outcomes =
+        runner.map_shots(shots, [&](std::uint64_t, Rng& rng) {
+          const auto backend = make_backend(BackendKind::kSymmetry, *spec);
+          execute_with_noise(*backend, circuit, noise_, rng);
+          return backend->sample(rng);
+        });
+    return BatchRunner::tally(outcomes, queries);
   }
   if (!noise_.enabled()) {
     // One execution, many parallel samples.
@@ -97,8 +130,19 @@ ShotReport Simulator::run_block_shots(const Circuit& circuit,
   PQS_CHECK(k >= 1 && k <= circuit.num_qubits());
   const BatchRunner runner = make_runner();
   const std::uint64_t queries = circuit.query_count();
-  if (const auto backend = symmetry_engine(circuit, oracle, k)) {
-    return runner.sample_block_shots(*backend, shots, queries);
+  if (const auto spec = symmetry_spec_for(circuit, oracle, k)) {
+    if (!noise_.enabled()) {
+      const auto backend = make_backend(BackendKind::kSymmetry, *spec);
+      apply_circuit(*backend, circuit);
+      return runner.sample_block_shots(*backend, shots, queries);
+    }
+    const auto outcomes =
+        runner.map_shots(shots, [&](std::uint64_t, Rng& rng) {
+          const auto backend = make_backend(BackendKind::kSymmetry, *spec);
+          execute_with_noise(*backend, circuit, noise_, rng);
+          return backend->sample_block(rng);
+        });
+    return BatchRunner::tally(outcomes, queries);
   }
   if (!noise_.enabled()) {
     const auto state = execute(circuit, oracle, rng_);

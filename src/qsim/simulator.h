@@ -6,8 +6,11 @@
 // Backend selection (set_backend): kAuto/kDense execute circuits on the
 // dense state vector exactly as before; kSymmetry executes symmetric
 // circuits (oracle + diffusion ops on one block granularity, single-target
-// oracles) on the O(K) SymmetryBackend — and rejects circuits or features
-// (noise trajectories, run_state) that need full amplitude vectors.
+// oracles) on the O(K) SymmetryBackend — and rejects features (run_state)
+// that need full amplitude vectors. Noise follows the backend support
+// matrix (qsim::backend_supports_noise): the dense engine samples literal
+// Pauli trajectories, the symmetry engine runs the class-moment channel
+// when the spec allows it (power-of-two N and K, unique target).
 //
 // Shot execution routes through qsim::BatchRunner: shots fan out across
 // OpenMP threads with independent per-shot RNG streams, so reports are
@@ -36,7 +39,11 @@ class Simulator {
   Rng& rng() { return rng_; }
 
   /// Attach a noise model applied after every oracle call of run_shots /
-  /// run_state (trajectory sampling). Noise requires the dense backend.
+  /// run_block_shots (trajectory sampling). Supported on BOTH engines per
+  /// qsim::backend_supports_noise — dense runs exact Pauli trajectories,
+  /// symmetry the class-moment channel; an unsupported engine/spec pair
+  /// fails loudly before any shot runs. run_state stays dense-only (it
+  /// materializes the full amplitude vector).
   void set_noise(const NoiseModel& model) { noise_ = model; }
   const NoiseModel& noise() const { return noise_; }
 
@@ -66,12 +73,13 @@ class Simulator {
  private:
   StateVector execute(const Circuit& circuit, const OracleView& oracle,
                       Rng& rng);
-  /// The symmetry engine for this circuit/oracle pair, or nullptr when the
+  /// The symmetric spec for this circuit/oracle pair, or nullopt when the
   /// effective backend is dense (kAuto always resolves dense here: every
   /// circuit-sized state fits in memory, and dense is bit-compatible with
   /// the historical behavior). Checked: an explicit kSymmetry request on a
-  /// non-symmetric circuit throws.
-  std::unique_ptr<Backend> symmetry_engine(
+  /// non-symmetric circuit throws, as does one whose spec cannot run the
+  /// attached noise model (backend_supports_noise).
+  std::optional<BackendSpec> symmetry_spec_for(
       const Circuit& circuit, const OracleView& oracle,
       std::optional<unsigned> measure_k) const;
   BatchRunner make_runner();

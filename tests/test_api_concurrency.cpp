@@ -1,0 +1,118 @@
+// Concurrency tests for the facade: N threads firing the same SearchSpec
+// at one shared Engine must (a) all observe the identical deterministic
+// report — the whole point of deriving every run's randomness from
+// spec.seed — and (b) leave the plan cache with ONE schedule for the key,
+// served to every later request without re-optimization.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "api/api.h"
+
+namespace pqs {
+namespace {
+
+TEST(PlannerConcurrencyTest, ConcurrentMissesAgreeOnOneSchedule) {
+  Planner planner;
+  constexpr int kThreads = 8;
+  std::vector<Plan> plans(kThreads);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&planner, &plans, t] {
+        plans[t] = planner.schedule(1u << 16, 4, 0.98);
+      });
+    }
+    for (auto& thread : threads) {
+      thread.join();
+    }
+  }
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(plans[t].schedule.l1, plans[0].schedule.l1);
+    EXPECT_EQ(plans[t].schedule.l2, plans[0].schedule.l2);
+    EXPECT_EQ(plans[t].schedule.queries, plans[0].schedule.queries);
+  }
+  EXPECT_EQ(planner.size(), 1u);
+  EXPECT_EQ(planner.hits() + planner.misses(),
+            static_cast<std::uint64_t>(kThreads));
+
+  // A later lookup is a pure cache hit.
+  const auto warm = planner.schedule(1u << 16, 4, 0.98);
+  EXPECT_TRUE(warm.cache_hit);
+  EXPECT_EQ(warm.planning_seconds, 0.0);
+  EXPECT_EQ(warm.schedule.queries, plans[0].schedule.queries);
+}
+
+TEST(EngineConcurrencyTest, SameSpecAcrossThreadsIsDeterministic) {
+  const Engine engine;
+  SearchSpec spec = SearchSpec::single_target(1u << 14, 4, 11213);
+  spec.algorithm = "grk";
+  spec.seed = 424242;
+
+  constexpr int kThreads = 8;
+  std::vector<SearchReport> reports(kThreads);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back(
+          [&engine, &spec, &reports, t] { reports[t] = engine.run(spec); });
+    }
+    for (auto& thread : threads) {
+      thread.join();
+    }
+  }
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(reports[t].measured, reports[0].measured);
+    EXPECT_EQ(reports[t].correct, reports[0].correct);
+    EXPECT_EQ(reports[t].queries, reports[0].queries);
+    EXPECT_EQ(reports[t].l1, reports[0].l1);
+    EXPECT_EQ(reports[t].l2, reports[0].l2);
+    EXPECT_DOUBLE_EQ(reports[t].success_probability,
+                     reports[0].success_probability);
+  }
+  EXPECT_EQ(engine.planner().size(), 1u);
+
+  // The warm engine serves the same spec from the cache, same answer.
+  const auto warm = engine.run(spec);
+  EXPECT_TRUE(warm.plan_cache_hit);
+  EXPECT_EQ(warm.planning_seconds, 0.0);
+  EXPECT_EQ(warm.measured, reports[0].measured);
+}
+
+TEST(EngineConcurrencyTest, MixedSpecsShareTheEngineSafely) {
+  const Engine engine;
+  constexpr int kThreads = 6;
+  std::vector<SearchReport> reports(kThreads);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&engine, &reports, t] {
+        SearchSpec spec = SearchSpec::single_target(
+            1u << (10 + (t % 3)), 4, 17 + static_cast<qsim::Index>(t));
+        spec.algorithm = (t % 2 == 0) ? "grk" : "certainty";
+        spec.seed = 1000 + static_cast<std::uint64_t>(t);
+        reports[t] = engine.run(spec);
+      });
+    }
+    for (auto& thread : threads) {
+      thread.join();
+    }
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    if (t % 2 == 0) {
+      // grk: success 1 - O(1/sqrt(N)); a single sample may still miss.
+      EXPECT_GT(reports[t].success_probability, 0.8);
+    } else {
+      // certainty: probability-1 measurement, always correct.
+      EXPECT_TRUE(reports[t].correct);
+      EXPECT_NEAR(reports[t].success_probability, 1.0, 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pqs

@@ -7,6 +7,7 @@
 #include "common/math.h"
 #include "grover/grover.h"
 #include "oracle/database.h"
+#include "oracle/marked_set.h"
 #include "qsim/backend.h"
 #include "qsim/simulator.h"
 
@@ -107,8 +108,31 @@ TEST(SimulatorBackendTest, RunStateRejectsSymmetry) {
   EXPECT_THROW(sim.run_state(circuit, db.view()), CheckFailure);
 }
 
-TEST(SimulatorBackendTest, NoiseRequiresDenseBackend) {
-  const oracle::Database db = oracle::Database::with_qubits(5, 3);
+TEST(SimulatorBackendTest, SymmetryNoiseRunsPerTheSupportMatrix) {
+  // PR 2 taught the symmetry engine the class-moment noise channel; the
+  // Simulator follows backend_supports_noise: a single-target power-of-two
+  // spec runs noisy trajectories on kSymmetry...
+  const oracle::Database db = oracle::Database::with_qubits(6, 20);
+  const auto circuit = make_grover_circuit(6, 4);
+  Simulator clean(9), noisy_a(9), noisy_b(9);
+  clean.set_backend(BackendKind::kSymmetry);
+  noisy_a.set_backend(BackendKind::kSymmetry);
+  noisy_b.set_backend(BackendKind::kSymmetry);
+  noisy_a.set_noise({NoiseKind::kDepolarizing, 0.05});
+  noisy_b.set_noise({NoiseKind::kDepolarizing, 0.05});
+  const auto clean_report = clean.run_shots(circuit, db.view(), 150);
+  const auto noisy_report = noisy_a.run_shots(circuit, db.view(), 150);
+  EXPECT_EQ(clean_report.mode, 20u);
+  EXPECT_GT(clean_report.mode_frequency, noisy_report.mode_frequency);
+  // ...reproducibly from the Simulator seed...
+  EXPECT_EQ(noisy_report.counts,
+            noisy_b.run_shots(circuit, db.view(), 150).counts);
+}
+
+TEST(SimulatorBackendTest, SymmetryNoiseRejectsUnsupportedSpecs) {
+  // ...while a multi-marked oracle (no single-target class split) still
+  // fails loudly before any shot runs.
+  const oracle::MarkedDatabase db(32, {3, 9});
   const auto circuit = make_grover_circuit(5, 2);
   Simulator sim(1);
   sim.set_backend(BackendKind::kSymmetry);
