@@ -35,6 +35,7 @@
 #include "qsim/backend.h"
 #include "qsim/batch.h"
 #include "qsim/simulator.h"
+#include "service/service.h"
 
 namespace {
 
@@ -277,6 +278,26 @@ int main(int argc, char** argv) {
   const double overhead =
       engine_seconds / std::max(direct_seconds, 1e-12) - 1.0;
 
+  // The SearchReport timing split (queue / plan / exec): one warm facade
+  // request for the plan/exec shares, and the same request stream through a
+  // single-worker Service — where queueing delay, the number a loaded
+  // deployment actually suffers, becomes visible.
+  const SearchReport split = engine.run(fac_spec);
+  Service fac_service({.threads = 1});
+  std::vector<JobHandle> fac_handles;
+  fac_handles.reserve(fac_reps);
+  for (int r = 0; r < fac_reps; ++r) {
+    SearchSpec queued_spec = fac_spec;
+    queued_spec.seed = 90000 + static_cast<std::uint64_t>(r);  // no coalescing
+    fac_handles.push_back(fac_service.submit(queued_spec));
+  }
+  double mean_queue_ns = 0.0;
+  for (auto& handle : fac_handles) {
+    handle.wait();
+    mean_queue_ns += static_cast<double>(handle.report().queue_ns);
+  }
+  mean_queue_ns /= fac_reps;
+
   std::cout << "\nfacade (grk, n=" << fac_n << ", " << fac_reps
             << " requests): direct " << Table::num(direct_seconds, 6)
             << " s/req vs engine " << Table::num(engine_seconds, 6)
@@ -284,7 +305,13 @@ int main(int argc, char** argv) {
             << "%\nplan cache: cold " << Table::num(plan_cold_seconds, 6)
             << " s, warm " << Table::num(plan_warm_seconds, 9) << " s ("
             << engine.planner().hits() << " hit(s), "
-            << engine.planner().misses() << " miss(es))\n";
+            << engine.planner().misses() << " miss(es), "
+            << engine.planner().evictions() << " eviction(s))\n"
+            << "timing split: warm request plan " << split.plan_ns
+            << " ns + exec " << split.exec_ns
+            << " ns; mean queue delay through a 1-worker service "
+            << Table::num(mean_queue_ns, 0) << " ns over " << fac_reps
+            << " back-to-back jobs\n";
 
   // -- JSON ----------------------------------------------------------------
   std::ofstream json(json_path);
@@ -305,6 +332,9 @@ int main(int argc, char** argv) {
        << ", \"overhead_fraction\": " << json_num(overhead)
        << ", \"plan_cold_seconds\": " << json_num(plan_cold_seconds)
        << ", \"plan_warm_seconds\": " << json_num(plan_warm_seconds)
+       << ", \"warm_request_plan_ns\": " << split.plan_ns
+       << ", \"warm_request_exec_ns\": " << split.exec_ns
+       << ", \"service_mean_queue_ns\": " << json_num(mean_queue_ns)
        << "}\n}\n";
   json.close();
   std::cout << "\nwrote " << json_path << "\n";

@@ -38,10 +38,10 @@ int main(int argc, char** argv) {
   const auto report = engine.run(spec);
   std::cout << "schedule: l1 = " << report.l1 << " global + l2 = "
             << report.l2 << " local iterations + 1 (Step 3), planned in "
-            << Table::num(report.planning_seconds, 6) << " s\n"
+            << Table::num(static_cast<double>(report.plan_ns) * 1e-9, 6) << " s\n"
             << "engine: " << qsim::to_string(report.backend_used)
             << ", evolved + " << report.trials << " shots in "
-            << Table::num(report.run_seconds, 6) << " s\n"
+            << Table::num(static_cast<double>(report.exec_ns) * 1e-9, 6) << " s\n"
             << "measured mode: block " << report.measured
             << (report.correct ? " (the target block)" : " (UNEXPECTED)")
             << "\n"
@@ -57,8 +57,9 @@ int main(int argc, char** argv) {
   const auto again = engine.run(spec);
   std::cout << "same request again: plan "
             << (again.plan_cache_hit ? "served from cache" : "recomputed")
-            << " (" << Table::num(again.planning_seconds, 6)
-            << " s planning, " << Table::num(again.run_seconds, 6)
+            << " (" << Table::num(static_cast<double>(again.plan_ns) * 1e-9, 6)
+            << " s planning, "
+            << Table::num(static_cast<double>(again.exec_ns) * 1e-9, 6)
             << " s run)\n";
   return 0;
 }

@@ -88,7 +88,7 @@ int main(int argc, char** argv) {
             << " sqrt(N) = Theta(sqrt(N/K)); schedule: l1 = "
             << grk.schedule.l1 << " global + l2 = " << grk.schedule.l2
             << " local + 1 final query (planned in "
-            << Table::num(grk.planning_seconds, 4) << " s, cached for "
+            << Table::num(static_cast<double>(grk.plan_ns) * 1e-9, 4) << " s, cached for "
             << "every later request).\n";
   return 0;
 }

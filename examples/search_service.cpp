@@ -58,8 +58,8 @@ int main(int argc, char** argv) {
          Table::num(report.success_probability, 6),
          report.plan_cache_hit
              ? "cache hit"
-             : Table::num(report.planning_seconds, 6) + " s",
-         Table::num(report.run_seconds, 6) + " s"});
+             : Table::num(static_cast<double>(report.plan_ns) * 1e-9, 6) + " s",
+         Table::num(static_cast<double>(report.exec_ns) * 1e-9, 6) + " s"});
     if (r == 0 && !report.detail.empty()) {
       std::cout << "detail: " << report.detail << "\n\n";
     }

@@ -50,9 +50,11 @@ inline unsigned block_bits(const SearchSpec& spec) {
 inline void measure_shots(SearchReport& report, const qsim::Backend& backend,
                           RunContext& ctx, bool block_answer,
                           qsim::Index truth) {
-  qsim::BatchOptions batch = ctx.spec.batch;
-  batch.seed = ctx.rng.next();
-  const qsim::BatchRunner runner(batch);
+  ctx.checkpoint();  // the state is evolved; bail before the shot sweep
+  if (ctx.control != nullptr) {
+    ctx.control->set_work_total(ctx.spec.shots);
+  }
+  const qsim::BatchRunner runner(ctx.batch_options());
   const auto shot_report =
       block_answer
           ? runner.sample_block_shots(backend, ctx.spec.shots, 0)

@@ -18,6 +18,7 @@ class AmpampAlgorithm final : public Algorithm {
   }
 
   SearchReport run(RunContext& ctx) const override {
+    ctx.checkpoint();
     const auto db = marked_database_for(ctx);
     const std::uint64_t iterations = ctx.spec.l1.value_or(
         grover_optimal_iterations(db.size(), db.num_marked()));

@@ -19,8 +19,10 @@ class BbhtAlgorithm final : public Algorithm {
   }
 
   SearchReport run(RunContext& ctx) const override {
+    ctx.checkpoint();
     const auto db = marked_database_for(ctx);
-    const grover::BbhtOptions options{.backend = ctx.spec.backend};
+    const grover::BbhtOptions options{.backend = ctx.spec.backend,
+                                      .control = ctx.control};
     SearchReport report;
     report.backend_used = qsim::resolve_backend(
         ctx.spec.backend, qsim::BackendSpec{db.size(), 1, db.marked()});
@@ -35,10 +37,11 @@ class BbhtAlgorithm final : public Algorithm {
           std::to_string(r.rounds) + " generate-and-test round(s)";
       return report;
     }
-    qsim::BatchOptions batch = ctx.spec.batch;
-    batch.seed = ctx.rng.next();
-    const auto r =
-        grover::search_unknown_batch(db, ctx.spec.shots, options, batch);
+    if (ctx.control != nullptr) {
+      ctx.control->set_work_total(ctx.spec.shots);
+    }
+    const auto r = grover::search_unknown_batch(db, ctx.spec.shots, options,
+                                                ctx.batch_options());
     report.trials = r.shots;
     report.queries = db.queries();
     report.queries_per_trial =

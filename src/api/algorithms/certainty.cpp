@@ -17,6 +17,7 @@ class CertaintyAlgorithm final : public Algorithm {
   }
 
   SearchReport run(RunContext& ctx) const override {
+    ctx.checkpoint();
     PQS_CHECK_MSG(ctx.spec.shots == 1,
                   "\"certainty\" is sure-success; repeated shots add "
                   "nothing (drop shots)");

@@ -20,6 +20,7 @@ class ClassicalAlgorithm final : public Algorithm {
   }
 
   SearchReport run(RunContext& ctx) const override {
+    ctx.checkpoint();
     PQS_CHECK_MSG(ctx.spec.shots == 1,
                   "\"classical\" runs a single zero-error scan; use the "
                   "classical/montecarlo.h harness for trial statistics");
@@ -27,14 +28,15 @@ class ClassicalAlgorithm final : public Algorithm {
     SearchReport report;
     report.success_probability = 1.0;  // zero-error by construction
     if (ctx.spec.n_blocks == 1) {
-      const auto r = classical::full_search_randomized(db, ctx.rng);
+      const auto r =
+          classical::full_search_randomized(db, ctx.rng, ctx.control);
       report.measured = r.answer;
       report.correct = r.correct;
       report.queries = r.probes;
     } else {
       const oracle::BlockLayout layout(db.size(), ctx.spec.n_blocks);
-      const auto r =
-          classical::partial_search_randomized(db, layout, ctx.rng);
+      const auto r = classical::partial_search_randomized(db, layout, ctx.rng,
+                                                          ctx.control);
       report.measured = r.answer;
       report.block_answer = true;
       report.correct = r.correct;

@@ -17,6 +17,7 @@ class ExactAlgorithm final : public Algorithm {
   }
 
   SearchReport run(RunContext& ctx) const override {
+    ctx.checkpoint();
     const auto db = database_for(ctx);
     const auto schedule = grover::exact_schedule(db.size());
     SearchReport report;

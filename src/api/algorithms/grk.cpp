@@ -19,6 +19,7 @@ class GrkAlgorithm final : public Algorithm {
   }
 
   SearchReport run(RunContext& ctx) const override {
+    ctx.checkpoint();
     const unsigned k = block_bits(ctx.spec);
     const auto db = database_for(ctx);
 
@@ -36,10 +37,11 @@ class GrkAlgorithm final : public Algorithm {
       options.l1 = ctx.spec.l1.value_or(plan.schedule.l1);
       options.l2 = ctx.spec.l2.value_or(plan.schedule.l2);
       report.plan_cache_hit = plan.cache_hit;
-      report.planning_seconds = plan.planning_seconds;
+      report.plan_ns = plan.plan_ns;
     }
     report.l1 = *options.l1;
     report.l2 = *options.l2;
+    ctx.checkpoint();  // planning may have taken seconds
 
     if (ctx.spec.shots == 1) {
       const auto r = partial::run_partial_search(db, k, ctx.rng, options);

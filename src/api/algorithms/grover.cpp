@@ -16,6 +16,7 @@ class GroverAlgorithm final : public Algorithm {
   }
 
   SearchReport run(RunContext& ctx) const override {
+    ctx.checkpoint();
     const auto db = database_for(ctx);
     const std::uint64_t iterations =
         ctx.spec.l1.value_or(grover::optimal_iterations(db.size()));

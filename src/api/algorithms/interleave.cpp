@@ -24,6 +24,7 @@ class InterleaveAlgorithm final : public Algorithm {
   }
 
   SearchReport run(RunContext& ctx) const override {
+    ctx.checkpoint();
     PQS_CHECK_MSG(ctx.spec.shots == 1,
                   "\"interleave\" runs a single measured trial; drop shots");
     const unsigned k = block_bits(ctx.spec);

@@ -24,6 +24,7 @@ class NoisyAlgorithm final : public Algorithm {
   bool supports_noise() const override { return true; }
 
   SearchReport run(RunContext& ctx) const override {
+    ctx.checkpoint();
     const unsigned k = block_bits(ctx.spec);
     const auto db = database_for(ctx);
 
@@ -31,6 +32,7 @@ class NoisyAlgorithm final : public Algorithm {
     partial::NoisyOptions options;
     options.backend = ctx.spec.backend;
     options.batch = ctx.spec.batch;
+    options.batch.control = ctx.control;  // cancel lands within one trial
     if (ctx.spec.l1.has_value() && ctx.spec.l2.has_value()) {
       options.l1 = ctx.spec.l1;
       options.l2 = ctx.spec.l2;
@@ -45,10 +47,14 @@ class NoisyAlgorithm final : public Algorithm {
       options.l1 = ctx.spec.l1.value_or(plan.schedule.l1);
       options.l2 = ctx.spec.l2.value_or(plan.schedule.l2);
       report.plan_cache_hit = plan.cache_hit;
-      report.planning_seconds = plan.planning_seconds;
+      report.plan_ns = plan.plan_ns;
     }
     report.l1 = *options.l1;
     report.l2 = *options.l2;
+    ctx.checkpoint();  // planning may have taken seconds
+    if (ctx.control != nullptr) {
+      ctx.control->set_work_total(ctx.spec.shots);
+    }
 
     const auto r = partial::run_noisy_partial_search(
         db, k, ctx.spec.noise, ctx.spec.shots, ctx.rng, options);

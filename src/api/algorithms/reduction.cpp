@@ -19,6 +19,7 @@ class ReductionAlgorithm final : public Algorithm {
   }
 
   SearchReport run(RunContext& ctx) const override {
+    ctx.checkpoint();
     PQS_CHECK_MSG(ctx.spec.shots == 1,
                   "\"reduction\" runs a single cascade; drop shots");
     const unsigned k = block_bits(ctx.spec);

@@ -19,6 +19,7 @@ class TwelveAlgorithm final : public Algorithm {
   }
 
   SearchReport run(RunContext& ctx) const override {
+    ctx.checkpoint();
     PQS_CHECK_MSG(ctx.spec.n_blocks >= 3,
                   "the two-query pattern needs K >= 3 blocks (N = "
                   "4K/(K-2) has no K <= 2 solution)");

@@ -25,6 +25,7 @@ class ZalkaAlgorithm final : public Algorithm {
   }
 
   SearchReport run(RunContext& ctx) const override {
+    ctx.checkpoint();
     PQS_CHECK_MSG(ctx.spec.shots == 1,
                   "\"zalka\" is a deterministic analysis; drop shots");
     const auto db = database_for(ctx);

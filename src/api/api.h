@@ -10,3 +10,4 @@
 #include "api/planner.h"
 #include "api/registry.h"
 #include "api/search_spec.h"
+#include "api/serialize.h"

@@ -88,8 +88,10 @@ Plan Engine::plan(const SearchSpec& spec) const {
                            marked.size());
 }
 
-SearchReport Engine::run(const SearchSpec& spec) const {
+SearchReport Engine::run(const SearchSpec& spec,
+                         qsim::RunControl* control) const {
   spec.validate_knobs();
+  qsim::checkpoint(control);  // a job cancelled while queued runs nothing
   const auto marked = spec.resolve_marked();  // the one predicate scan
   const std::string resolved = spec.algorithm == "auto"
                                    ? resolve_algorithm(spec, marked.size())
@@ -100,10 +102,11 @@ SearchReport Engine::run(const SearchSpec& spec) const {
                 "use \"noisy\" (or clear the noise model)");
 
   Rng rng(spec.seed);
-  RunContext ctx{spec, marked, planner_, rng};
+  RunContext ctx{spec, marked, planner_, rng, control};
   Stopwatch watch;
   SearchReport report = algorithm.run(ctx);
-  report.run_seconds = watch.seconds() - report.planning_seconds;
+  const std::uint64_t total_ns = watch.nanos();
+  report.exec_ns = total_ns > report.plan_ns ? total_ns - report.plan_ns : 0;
   report.algorithm = resolved;
   if (report.trials == 0) {
     report.trials = 1;

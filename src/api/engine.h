@@ -30,15 +30,25 @@ class Engine {
  public:
   /// An engine over the built-in registry (all 13 drivers).
   Engine() : Engine(Registry::with_builtin_algorithms()) {}
-  /// An engine over a caller-assembled registry (custom algorithms).
-  explicit Engine(Registry registry) : registry_(std::move(registry)) {}
+  /// An engine over a caller-assembled registry (custom algorithms), with
+  /// an optional bound on the plan cache (plans kept before LRU eviction).
+  explicit Engine(Registry registry,
+                  std::size_t plan_cache_capacity = Planner::kDefaultCapacity)
+      : registry_(std::move(registry)), planner_(plan_cache_capacity) {}
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
   /// Execute one request. Validates the spec, resolves "auto", runs the
   /// adapter, and stamps the timing / resolved-name fields. Thread-safe.
-  SearchReport run(const SearchSpec& spec) const;
+  ///
+  /// `control`, when given, makes the run cancellable and observable:
+  /// adapters checkpoint between stages and the shot loops check per shot,
+  /// so cancel() surfaces as qsim::CancelledError from this call within one
+  /// shot-batch; progress accumulates on the same handle. pqs::Service
+  /// threads one RunControl per job through here.
+  SearchReport run(const SearchSpec& spec,
+                   qsim::RunControl* control = nullptr) const;
 
   /// The algorithm "auto" resolves to for this spec, per the paper's cost
   /// model (Section 1's classical-vs-quantum comparison, the sure-success

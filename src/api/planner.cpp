@@ -1,7 +1,5 @@
 #include "api/planner.h"
 
-#include <mutex>
-
 #include "common/timing.h"
 
 namespace pqs {
@@ -10,35 +8,49 @@ Plan Planner::schedule(std::uint64_t n_items, std::uint64_t n_blocks,
                        double min_success, std::uint64_t n_marked) const {
   const PlanKey key{n_items, n_blocks, n_marked, min_success};
   {
-    std::shared_lock lock(mutex_);
-    if (const auto it = cache_.find(key); it != cache_.end()) {
+    std::lock_guard lock(mutex_);
+    if (const auto* found = cache_.find(key)) {
       hits_.fetch_add(1, std::memory_order_relaxed);
-      return Plan{it->second, /*cache_hit=*/true, 0.0};
+      return Plan{*found, /*cache_hit=*/true, 0};
     }
   }
 
   // Miss: search outside the lock so one slow plan does not serialize every
   // other request. optimize_schedule is deterministic, so racing computers
-  // agree and first-writer-wins below is safe.
+  // agree and last-writer-wins below is safe.
   Stopwatch watch;
   const auto schedule =
       partial::optimize_schedule(n_items, n_blocks, min_success, n_marked);
-  const double seconds = watch.seconds();
+  const std::uint64_t plan_ns = watch.nanos();
   misses_.fetch_add(1, std::memory_order_relaxed);
 
-  std::unique_lock lock(mutex_);
-  const auto [it, inserted] = cache_.emplace(key, schedule);
-  (void)inserted;  // a concurrent miss may have landed first; same value
-  return Plan{it->second, /*cache_hit=*/false, seconds};
+  std::lock_guard lock(mutex_);
+  const auto& stored = cache_.put(key, schedule);
+  return Plan{stored, /*cache_hit=*/false, plan_ns};
+}
+
+std::uint64_t Planner::evictions() const {
+  std::lock_guard lock(mutex_);
+  return cache_.evictions();
 }
 
 std::uint64_t Planner::size() const {
-  std::shared_lock lock(mutex_);
+  std::lock_guard lock(mutex_);
   return cache_.size();
 }
 
+std::size_t Planner::capacity() const {
+  std::lock_guard lock(mutex_);
+  return cache_.capacity();
+}
+
+void Planner::set_capacity(std::size_t capacity) {
+  std::lock_guard lock(mutex_);
+  cache_.set_capacity(capacity);
+}
+
 void Planner::clear() {
-  std::unique_lock lock(mutex_);
+  std::lock_guard lock(mutex_);
   cache_.clear();
   hits_.store(0);
   misses_.store(0);

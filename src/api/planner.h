@@ -5,16 +5,21 @@
 // the planned schedule on the symmetry engine is microseconds. A service
 // answering repeated requests must therefore never re-derive a schedule it
 // has already derived: Planner memoizes optimize_schedule results keyed by
-// (N, K, M, min_success) behind a shared mutex, so concurrent Engine::run
-// calls share one deterministic plan and repeated specs skip the search
-// entirely (the second request's planning time is ~0).
+// (N, K, M, min_success) behind a mutex, so concurrent Engine::run calls
+// share one deterministic plan and repeated specs skip the search entirely
+// (the second request's planning time is ~0).
+//
+// The cache is a bounded LRU (default 1024 plans): a long-lived service
+// sweeping many problem shapes keeps its hottest schedules and evicts the
+// coldest instead of growing without limit. hits() / misses() / evictions()
+// expose the counters a deployment watches to size the bound.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
-#include <map>
-#include <shared_mutex>
+#include <mutex>
 
+#include "common/lru.h"
 #include "partial/optimizer.h"
 
 namespace pqs {
@@ -37,29 +42,39 @@ struct PlanKey {
 /// One planning answer plus how this lookup got it.
 struct Plan {
   partial::IntegerOptimum schedule;
-  bool cache_hit = false;         ///< this lookup was served from the cache
-  double planning_seconds = 0.0;  ///< time spent searching (~0 on a hit)
+  bool cache_hit = false;      ///< this lookup was served from the cache
+  std::uint64_t plan_ns = 0;   ///< time spent searching (~0 on a hit)
 };
 
 /// Thread-safe memoized schedule planner. const methods are safe to call
 /// concurrently; the cache is internally synchronized.
 class Planner {
  public:
+  static constexpr std::size_t kDefaultCapacity = 1024;
+
+  explicit Planner(std::size_t capacity = kDefaultCapacity)
+      : cache_(capacity) {}
+
   /// The (possibly cached) schedule for (N, K, M, min_success). On a miss
   /// the optimize_schedule search runs OUTSIDE any lock (concurrent misses
   /// on the same key may race to compute; the result is deterministic, so
-  /// first-writer-wins is safe and every caller returns the same plan).
+  /// last-writer-wins is safe and every caller returns the same plan).
   Plan schedule(std::uint64_t n_items, std::uint64_t n_blocks,
                 double min_success, std::uint64_t n_marked = 1) const;
 
   std::uint64_t hits() const { return hits_.load(); }
   std::uint64_t misses() const { return misses_.load(); }
+  /// Plans dropped by the LRU bound since construction / last clear().
+  std::uint64_t evictions() const;
   std::uint64_t size() const;
+  std::size_t capacity() const;
+  /// Re-bound the cache (shrinking evicts cold plans immediately).
+  void set_capacity(std::size_t capacity);
   void clear();
 
  private:
-  mutable std::shared_mutex mutex_;
-  mutable std::map<PlanKey, partial::IntegerOptimum> cache_;
+  mutable std::mutex mutex_;
+  mutable LruMap<PlanKey, partial::IntegerOptimum> cache_;
   mutable std::atomic<std::uint64_t> hits_{0};
   mutable std::atomic<std::uint64_t> misses_{0};
 };

@@ -20,19 +20,37 @@
 #include "api/planner.h"
 #include "api/search_spec.h"
 #include "common/random.h"
+#include "qsim/run_control.h"
 
 namespace pqs {
 
 /// Everything an adapter may use while running one request: the validated
 /// spec, its marked set (materialized ONCE by the Engine — a predicate
 /// spec's scan happens here, never again downstream), the engine's shared
-/// plan cache, and the request's RNG (seeded from spec.seed by the Engine,
-/// so a run is reproducible from the spec alone).
+/// plan cache, the request's RNG (seeded from spec.seed by the Engine, so a
+/// run is reproducible from the spec alone), and the optional cancel /
+/// progress handle of the request.
 struct RunContext {
   const SearchSpec& spec;
   const std::vector<qsim::Index>& marked;  ///< sorted, unique, validated
   const Planner& planner;
   Rng& rng;
+  /// Cancel + progress handle, or nullptr for an untracked run. Adapters
+  /// checkpoint() between stages and hand it to their shot loops
+  /// (BatchOptions::control), so cancellation lands mid-sweep, not after.
+  qsim::RunControl* control = nullptr;
+
+  /// Throws CancelledError iff the request was cancelled. Call between
+  /// expensive stages (after planning, before evolution, before sampling).
+  void checkpoint() const { qsim::checkpoint(control); }
+  /// spec.batch with this run's control + a seed drawn from the run RNG —
+  /// the BatchOptions every adapter shot fan-out should use.
+  qsim::BatchOptions batch_options() const {
+    qsim::BatchOptions batch = spec.batch;
+    batch.seed = rng.next();
+    batch.control = control;
+    return batch;
+  }
 };
 
 /// One registered algorithm. Adapters are stateless (all run state lives in

@@ -59,6 +59,10 @@ void SearchSpec::validate_knobs() const {
                 "n_blocks must divide n_items");
   PQS_CHECK_MSG(shots >= 1, "need at least one shot");
   PQS_CHECK_MSG(min_success <= 1.0, "min_success above 1 is unsatisfiable");
+  PQS_CHECK_MSG(batch.control == nullptr,
+                "a RunControl attaches at run time (Engine::run / "
+                "Service::submit), never inside a SearchSpec — specs stay "
+                "pure data so they can be hashed, cached, and serialized");
   noise.validate();
 }
 
@@ -108,6 +112,8 @@ std::string SearchReport::to_string() const {
     os << ", schedule l1=" << l1 << " l2=" << l2
        << (plan_cache_hit ? " (cached plan)" : "");
   }
+  os << "\n  timing queue " << queue_ns << " ns, plan " << plan_ns
+     << " ns, exec " << exec_ns << " ns";
   if (!detail.empty()) {
     os << "\n  " << detail;
   }

@@ -119,10 +119,14 @@ struct SearchReport {
   std::uint64_t l1 = 0;       ///< schedule actually run (0 where n/a)
   std::uint64_t l2 = 0;
   qsim::BackendKind backend_used = qsim::BackendKind::kDense;
-  bool plan_cache_hit = false;    ///< the schedule came from the plan cache
-  double planning_seconds = 0.0;  ///< schedule search time (~0 on a hit)
-  double run_seconds = 0.0;       ///< wall time of the algorithm itself
-  std::string detail;             ///< one-line algorithm-specific extras
+  bool plan_cache_hit = false;  ///< the schedule came from the plan cache
+  // -- the timing split: one wall-clock number would hide queueing delay,
+  //    the dominant latency term of a loaded service --
+  std::uint64_t queue_ns = 0;  ///< time waiting in the service queue
+                               ///< (0 for a direct Engine::run)
+  std::uint64_t plan_ns = 0;   ///< schedule search time (~0 on a cache hit)
+  std::uint64_t exec_ns = 0;   ///< wall time of the algorithm itself
+  std::string detail;          ///< one-line algorithm-specific extras
 
   /// Multi-line human rendering for CLIs.
   std::string to_string() const;

@@ -24,11 +24,21 @@ ClassicalResult full_search_deterministic(const oracle::Database& db) {
   return result;
 }
 
-ClassicalResult full_search_randomized(const oracle::Database& db, Rng& rng) {
+ClassicalResult full_search_randomized(const oracle::Database& db, Rng& rng,
+                                       qsim::RunControl* control) {
   const std::uint64_t before = db.queries();
   ClassicalResult result;
+  if (control != nullptr) {
+    control->set_work_total(db.size());
+  }
   const auto order = rng.permutation(db.size());
   for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+    if (control != nullptr && i % kScanCheckpointInterval == 0) {
+      control->throw_if_cancelled();
+      if (i > 0) {  // credit the COMPLETED interval, not the upcoming one
+        control->add_work_done(kScanCheckpointInterval);
+      }
+    }
     if (db.probe(order[i])) {
       result.answer = order[i];
       result.correct = result.answer == db.target();
@@ -67,7 +77,8 @@ ClassicalResult partial_search_deterministic(
 
 ClassicalResult partial_search_randomized(const oracle::Database& db,
                                           const oracle::BlockLayout& layout,
-                                          Rng& rng) {
+                                          Rng& rng,
+                                          qsim::RunControl* control) {
   PQS_CHECK_MSG(layout.num_items() == db.size(), "layout/database mismatch");
   const std::uint64_t before = db.queries();
   ClassicalResult result;
@@ -85,9 +96,18 @@ ClassicalResult partial_search_randomized(const oracle::Database& db,
       kept.push_back(x);
     }
   }
+  if (control != nullptr) {
+    control->set_work_total(kept.size());
+  }
   const auto order = rng.permutation(kept.size());
-  for (const auto idx : order) {
-    const Index x = kept[idx];
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (control != nullptr && i % kScanCheckpointInterval == 0) {
+      control->throw_if_cancelled();
+      if (i > 0) {  // credit the COMPLETED interval, not the upcoming one
+        control->add_work_done(kScanCheckpointInterval);
+      }
+    }
+    const Index x = kept[order[i]];
     if (db.probe(x)) {
       result.answer = layout.block_of(x);
       result.correct = result.answer == layout.block_of(db.target());

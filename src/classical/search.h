@@ -10,6 +10,7 @@
 #include "common/random.h"
 #include "oracle/blocks.h"
 #include "oracle/database.h"
+#include "qsim/run_control.h"
 
 namespace pqs::classical {
 
@@ -26,8 +27,14 @@ struct ClassicalResult {
 ClassicalResult full_search_deterministic(const oracle::Database& db);
 
 /// Zero-error randomized full search: probe in a uniformly random order.
-/// Expected (N+1)/2 probes; the paper quotes N/2.
-ClassicalResult full_search_randomized(const oracle::Database& db, Rng& rng);
+/// Expected (N+1)/2 probes; the paper quotes N/2. With `control` attached
+/// the scan checkpoints every kScanCheckpointInterval probes (a cancelled
+/// 2^30-item scan stops within one interval, throwing CancelledError).
+ClassicalResult full_search_randomized(const oracle::Database& db, Rng& rng,
+                                       qsim::RunControl* control = nullptr);
+
+/// How many probes a classical scan runs between cancellation checkpoints.
+inline constexpr std::uint64_t kScanCheckpointInterval = 8192;
 
 /// Deterministic partial search (Section 1.1): probe the first K-1 blocks;
 /// if the target is not there it must be in the last block. Worst case
@@ -41,7 +48,8 @@ ClassicalResult partial_search_deterministic(const oracle::Database& db,
 /// N/2 (1 - 1/K^2) + (1 - 1/K)/2 probes — tight by Appendix A.
 ClassicalResult partial_search_randomized(const oracle::Database& db,
                                           const oracle::BlockLayout& layout,
-                                          Rng& rng);
+                                          Rng& rng,
+                                          qsim::RunControl* control = nullptr);
 
 /// Appendix A's bound specialized to a deterministic probe sequence: under a
 /// uniform random target, the expected probes of ANY zero-error

@@ -1,5 +1,6 @@
 #include "common/cli.h"
 
+#include <algorithm>
 #include <set>
 #include <sstream>
 #include <stdexcept>
@@ -108,6 +109,29 @@ std::string Cli::help() const {
   return os.str();
 }
 
+namespace {
+
+/// Classic dynamic-programming edit distance, for "did you mean" hints.
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) {
+    row[j] = j;
+  }
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diagonal = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t substitution =
+          diagonal + (a[i - 1] == b[j - 1] ? 0 : 1);
+      diagonal = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, substitution});
+    }
+  }
+  return row[b.size()];
+}
+
+}  // namespace
+
 void Cli::finish() const {
   std::set<std::string> known;
   for (const auto& doc : docs_) {
@@ -115,11 +139,26 @@ void Cli::finish() const {
   }
   std::string unknown;
   for (const auto& [name, value] : values_) {
-    if (!known.contains(name)) {
-      unknown += " --" + name;
+    if (known.contains(name)) {
+      continue;
+    }
+    unknown += unknown.empty() ? "unknown flag --" : "; unknown flag --";
+    unknown += name;
+    // Suggest the closest declared flag when it is plausibly a typo.
+    std::string best;
+    std::size_t best_distance = name.size();
+    for (const auto& candidate : known) {
+      const std::size_t d = edit_distance(name, candidate);
+      if (d < best_distance) {
+        best_distance = d;
+        best = candidate;
+      }
+    }
+    if (!best.empty() && best_distance <= 2) {
+      unknown += " (did you mean --" + best + "?)";
     }
   }
-  PQS_CHECK_MSG(unknown.empty(), "unknown flags:" + unknown);
+  PQS_CHECK_MSG(unknown.empty(), unknown);
 }
 
 }  // namespace pqs

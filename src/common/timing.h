@@ -2,6 +2,7 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 #include <string>
 
 namespace pqs {
@@ -17,6 +18,13 @@ class Stopwatch {
   double seconds() const;
   /// Elapsed milliseconds.
   double millis() const { return seconds() * 1e3; }
+  /// Elapsed integer nanoseconds (the unit of SearchReport's timing split).
+  std::uint64_t nanos() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
 
   /// "1.23 s" / "45.6 ms" / "789 us" human rendering.
   std::string human() const;

@@ -44,6 +44,12 @@ BbhtResult run_rounds(const oracle::MarkedDatabase& db, qsim::Backend* backend,
   std::uint64_t queries = 0;
   double m = 1.0;
   while (queries < max_queries) {
+    // Cooperative cancel per round; break instead of throw so this body
+    // stays safe inside the batched OpenMP fan-out (the caller's
+    // checkpoint converts the flag into CancelledError).
+    if (options.control != nullptr && options.control->cancelled()) {
+      break;
+    }
     ++result.rounds;
     const auto cap = static_cast<std::uint64_t>(std::ceil(m));
     const std::uint64_t j = rng.uniform_below(cap);
@@ -82,6 +88,7 @@ BbhtResult search_unknown(const oracle::MarkedDatabase& db, Rng& rng,
   }
   const BbhtResult result = run_rounds(db, backend.get(), rng, options);
   db.add_queries(result.queries);
+  qsim::checkpoint(options.control);
   return result;
 }
 

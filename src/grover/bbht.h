@@ -40,6 +40,10 @@ struct BbhtOptions {
   /// Simulation engine for the Grover rounds (kAuto: dense while the state
   /// fits in memory, symmetry beyond).
   qsim::BackendKind backend = qsim::BackendKind::kAuto;
+  /// Optional cancel handle: the generate-and-test loop checks it per round
+  /// and a cancelled search throws CancelledError (in the batched form the
+  /// remaining restarts are skipped too, via BatchOptions::control).
+  qsim::RunControl* control = nullptr;
 };
 
 /// Run the BBHT loop: pick j uniform in [0, ceil(m)), apply j Grover

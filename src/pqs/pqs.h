@@ -7,6 +7,11 @@
 // over the algorithm registry and the plan cache.
 #include "api/api.h"
 
+// The service layer: asynchronous cancellable jobs, request coalescing,
+// and the JSONL wire format (pqs_serve).
+#include "service/flags.h"
+#include "service/service.h"
+
 // Infrastructure.
 #include "common/check.h"
 #include "common/cli.h"

@@ -59,14 +59,24 @@ std::vector<Index> BatchRunner::map_shots(
   PQS_CHECK_MSG(shots > 0, "need at least one shot");
   std::vector<Index> outcomes(shots);
   const auto n = static_cast<std::int64_t>(shots);
+  RunControl* const control = options_.control;
 #ifdef PQS_HAVE_OPENMP
 #pragma omp parallel for schedule(static) num_threads(threads_)
 #endif
   for (std::int64_t i = 0; i < n; ++i) {
+    // Exceptions cannot cross an OpenMP region: skip the remaining bodies
+    // and throw once, below, after the join.
+    if (control != nullptr && control->cancelled()) {
+      continue;
+    }
     const auto shot = static_cast<std::uint64_t>(i);
     Rng rng = shot_rng(shot);
     outcomes[static_cast<std::size_t>(i)] = body(shot, rng);
+    if (control != nullptr) {
+      control->add_work_done();
+    }
   }
+  checkpoint(control);
   return outcomes;
 }
 

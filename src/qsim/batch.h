@@ -21,6 +21,7 @@
 
 #include "common/random.h"
 #include "qsim/backend.h"
+#include "qsim/run_control.h"
 #include "qsim/state_vector.h"
 #include "qsim/types.h"
 
@@ -44,6 +45,12 @@ struct BatchOptions {
   unsigned threads = 0;
   /// Base seed of the per-shot RNG streams.
   std::uint64_t seed = 2005;
+  /// Optional cancel/progress handle: map_shots checks it per shot (a
+  /// cancelled fan-out skips its remaining shots and throws CancelledError
+  /// after the loop joins) and advances work_done once per completed shot.
+  /// Never part of a SearchSpec — the Engine/Service attach it at run time
+  /// (SearchSpec::validate_knobs enforces null).
+  RunControl* control = nullptr;
 };
 
 /// Deterministic parallel shot executor.
@@ -61,6 +68,10 @@ class BatchRunner {
 
   /// outcomes[i] = body(i, rng_i), fanned across threads. The body must be
   /// safe to call concurrently for distinct shots (shared inputs read-only).
+  /// With options.control attached, every shot first checks the cancel flag
+  /// (a cancelled run skips the remaining shot bodies, then throws
+  /// CancelledError once the fan-out joins — so cancellation lands within
+  /// one in-flight shot per thread) and reports one unit of progress.
   std::vector<Index> map_shots(
       std::uint64_t shots,
       const std::function<Index(std::uint64_t shot, Rng& rng)>& body) const;

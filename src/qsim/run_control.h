@@ -1,0 +1,97 @@
+// Cooperative cancellation and progress for long-running searches.
+//
+// A production service cannot treat a 2^30-item shot sweep as an opaque
+// blocking call: callers need to cancel it mid-flight and watch it advance.
+// RunControl is the handle that makes both real — an atomic cancel flag the
+// execution layers CHECK (BatchRunner per shot, the BBHT restart loop per
+// round, the classical scans every few thousand probes, every adapter
+// between stages) and an atomic work counter they ADVANCE. Cancellation is
+// cooperative: cancel() never interrupts a thread, it makes the next
+// checkpoint throw CancelledError, which unwinds out of Engine::run with no
+// partial result. One RunControl belongs to one run; pqs::Service allocates
+// one per job and exposes it through JobHandle::cancel / progress.
+//
+// All members are lock-free atomics, so checking from inside an OpenMP shot
+// fan-out is safe and cheap (a relaxed load per shot).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+
+namespace pqs::qsim {
+
+/// Thrown by a cancellation checkpoint once cancel() has been observed.
+/// Derives from std::runtime_error so generic error paths still catch it,
+/// while the service layer can distinguish kCancelled from kFailed.
+class CancelledError : public std::runtime_error {
+ public:
+  CancelledError() : std::runtime_error("run cancelled") {}
+};
+
+/// Shared cancel + progress state of one run. The submitting side keeps a
+/// reference and calls cancel(); the executing side checkpoints and reports
+/// progress. Not reusable across runs (counters only grow).
+class RunControl {
+ public:
+  /// Request cancellation. Idempotent, thread-safe, returns immediately;
+  /// the run stops at its next checkpoint.
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
+
+  bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// Checkpoint: throws CancelledError iff cancel() has been called.
+  void throw_if_cancelled() const {
+    if (cancelled()) {
+      throw CancelledError();
+    }
+  }
+
+  /// Declare the total work units of the run (shots / trials / probes).
+  /// Called once by whoever knows the run's shape; 0 = unknown.
+  void set_work_total(std::uint64_t units) noexcept {
+    work_total_.store(units, std::memory_order_relaxed);
+  }
+
+  /// Advance the progress counter (one unit per completed shot / probe
+  /// block). Safe to call concurrently from the shot fan-out.
+  void add_work_done(std::uint64_t units = 1) noexcept {
+    work_done_.fetch_add(units, std::memory_order_relaxed);
+  }
+
+  std::uint64_t work_total() const noexcept {
+    return work_total_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t work_done() const noexcept {
+    return work_done_.load(std::memory_order_relaxed);
+  }
+
+  /// Completed fraction in [0, 1]; 0 while the total is unknown.
+  double progress() const noexcept {
+    const std::uint64_t total = work_total();
+    if (total == 0) {
+      return 0.0;
+    }
+    const std::uint64_t done = work_done();
+    return done >= total ? 1.0
+                         : static_cast<double>(done) /
+                               static_cast<double>(total);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  std::atomic<std::uint64_t> work_total_{0};
+  std::atomic<std::uint64_t> work_done_{0};
+};
+
+/// Null-tolerant checkpoint, for code paths where no control is attached
+/// (direct module calls, single-shot CLI runs).
+inline void checkpoint(const RunControl* control) {
+  if (control != nullptr) {
+    control->throw_if_cancelled();
+  }
+}
+
+}  // namespace pqs::qsim

@@ -1,0 +1,23 @@
+#include "service/flags.h"
+
+#include "common/check.h"
+
+namespace pqs::service {
+
+ServiceOptions parse_service_flags(Cli& cli, unsigned default_threads,
+                                   std::size_t default_queue_depth) {
+  ServiceOptions options;
+  const auto threads = cli.get_int(
+      "threads", static_cast<std::int64_t>(default_threads),
+      "service worker threads executing jobs");
+  PQS_CHECK_MSG(threads >= 1, "--threads must be >= 1");
+  options.threads = static_cast<unsigned>(threads);
+  const auto depth = cli.get_int(
+      "queue-depth", static_cast<std::int64_t>(default_queue_depth),
+      "bounded job-queue capacity (submits beyond it are rejected)");
+  PQS_CHECK_MSG(depth >= 1, "--queue-depth must be >= 1");
+  options.queue_capacity = static_cast<std::size_t>(depth);
+  return options;
+}
+
+}  // namespace pqs::service

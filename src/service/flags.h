@@ -1,0 +1,18 @@
+// CLI -> ServiceOptions: the shared service-layer knobs. Every binary that
+// embeds a pqs::Service spells --threads / --queue-depth identically, the
+// same way api/flags.h collapses the request flags — and lives here, not in
+// the api layer, so facade-only binaries never pull in the service stack.
+#pragma once
+
+#include "common/cli.h"
+#include "service/service.h"
+
+namespace pqs::service {
+
+/// Declare and parse --threads (worker pool size) and --queue-depth
+/// (bounded queue capacity) into a ServiceOptions. Call before
+/// cli.finish().
+ServiceOptions parse_service_flags(Cli& cli, unsigned default_threads = 2,
+                                   std::size_t default_queue_depth = 256);
+
+}  // namespace pqs::service

@@ -1,0 +1,381 @@
+#include "service/service.h"
+
+#include "api/serialize.h"
+#include "common/check.h"
+#include "common/timing.h"
+
+namespace pqs {
+
+namespace detail {
+
+/// The shared state of one job. Lifecycle fields are guarded by `mutex`;
+/// the RunControl and the attachment counter are lock-free so the shot
+/// loops and cancel() never contend with waiters.
+struct Job {
+  SearchSpec spec;   ///< canonicalized: marked materialized, no predicate
+  std::string key;   ///< api::canonical_key(spec)
+  int priority = 0;
+  std::uint64_t seq = 0;
+
+  qsim::RunControl control;
+  std::atomic<std::uint64_t> attached{0};  ///< live uncancelled handles
+  Stopwatch queued_at;                     ///< started at submit
+
+  mutable std::mutex mutex;
+  std::condition_variable cv;
+  JobStatus status = JobStatus::kQueued;  // guarded by `mutex`
+  SearchReport report;                    // valid once kDone
+  std::string error;                      // valid once kFailed
+};
+
+}  // namespace detail
+
+using detail::Job;
+
+std::string_view to_string(JobStatus status) {
+  switch (status) {
+    case JobStatus::kQueued: return "queued";
+    case JobStatus::kRunning: return "running";
+    case JobStatus::kDone: return "done";
+    case JobStatus::kCancelled: return "cancelled";
+    case JobStatus::kFailed: return "failed";
+  }
+  return "?";
+}
+
+// ---- JobHandle -------------------------------------------------------------
+
+JobStatus JobHandle::status_locked() const {
+  // A cancelled attachment is cancelled for good — even if the coalesced
+  // execution completes for the other callers, THIS caller asked out, and
+  // a cancelled handle must never flip to kDone.
+  if (cancelled_->load()) {
+    return JobStatus::kCancelled;
+  }
+  return job_->status;
+}
+
+JobStatus JobHandle::status() const {
+  std::lock_guard lock(job_->mutex);
+  return status_locked();
+}
+
+bool JobHandle::finished() const {
+  const JobStatus s = status();
+  return s == JobStatus::kDone || s == JobStatus::kCancelled ||
+         s == JobStatus::kFailed;
+}
+
+double JobHandle::progress() const {
+  {
+    std::lock_guard lock(job_->mutex);
+    if (job_->status == JobStatus::kDone) {
+      return 1.0;  // single-shot runs report no intermediate units
+    }
+  }
+  return job_->control.progress();
+}
+
+JobStatus JobHandle::wait() const {
+  std::unique_lock lock(job_->mutex);
+  job_->cv.wait(lock, [this] {
+    const JobStatus s = status_locked();
+    return s != JobStatus::kQueued && s != JobStatus::kRunning;
+  });
+  return status_locked();
+}
+
+JobStatus JobHandle::wait_for(std::chrono::milliseconds timeout) const {
+  std::unique_lock lock(job_->mutex);
+  job_->cv.wait_for(lock, timeout, [this] {
+    const JobStatus s = status_locked();
+    return s != JobStatus::kQueued && s != JobStatus::kRunning;
+  });
+  return status_locked();
+}
+
+void JobHandle::cancel() {
+  {
+    // The flag flips under the waiters' mutex: a wait() that just read the
+    // predicate cannot park between this store and the notify (the classic
+    // lost-wakeup window).
+    std::lock_guard lock(job_->mutex);
+    if (cancelled_->exchange(true)) {
+      return;  // this attachment already cancelled
+    }
+    // Last attached caller out stops the execution itself; otherwise the
+    // job keeps running for the still-attached callers.
+    if (job_->attached.fetch_sub(1) == 1) {
+      job_->control.cancel();
+    }
+  }
+  job_->cv.notify_all();  // waiters on this handle see kCancelled now
+}
+
+const SearchReport& JobHandle::report() const {
+  std::lock_guard lock(job_->mutex);
+  const JobStatus s = status_locked();
+  PQS_CHECK_MSG(s == JobStatus::kDone,
+                std::string("JobHandle::report: job is ") +
+                    std::string(to_string(s)) + ", not done");
+  return job_->report;
+}
+
+const std::string& JobHandle::error() const {
+  std::lock_guard lock(job_->mutex);
+  const JobStatus s = status_locked();
+  PQS_CHECK_MSG(s == JobStatus::kFailed,
+                std::string("JobHandle::error: job is ") +
+                    std::string(to_string(s)) + ", not failed");
+  return job_->error;
+}
+
+const SearchSpec& JobHandle::spec() const { return job_->spec; }
+const std::string& JobHandle::key() const { return job_->key; }
+
+// ---- Service ---------------------------------------------------------------
+
+Service::Service(ServiceOptions options)
+    : Service(options, Registry::with_builtin_algorithms()) {}
+
+Service::Service(ServiceOptions options, Registry registry)
+    : options_(options),
+      engine_(std::move(registry), options.plan_cache_capacity),
+      results_(options.result_cache_capacity) {
+  PQS_CHECK_MSG(options_.threads >= 1, "Service needs at least one worker");
+  PQS_CHECK_MSG(options_.queue_capacity >= 1,
+                "Service needs queue_capacity >= 1");
+  workers_.reserve(options_.threads);
+  for (unsigned t = 0; t < options_.threads; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Service::~Service() {
+  std::vector<std::shared_ptr<Job>> queued;
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+    for (auto& [order, job] : queue_) {
+      queued.push_back(job);
+    }
+    queue_.clear();
+    // Running jobs stop at their next checkpoint.
+    for (auto& [key, job] : inflight_) {
+      job->control.cancel();
+    }
+  }
+  // Settle the never-started jobs so their waiters wake.
+  for (const auto& job : queued) {
+    finish(job, JobStatus::kCancelled, {}, "service shut down");
+  }
+  queue_cv_.notify_all();
+  for (auto& worker : workers_) {
+    worker.join();
+  }
+}
+
+JobHandle Service::attach(const std::shared_ptr<Job>& job) {
+  job->attached.fetch_add(1);
+  return JobHandle(job, std::make_shared<std::atomic<bool>>(false));
+}
+
+JobHandle Service::submit(const SearchSpec& spec, int priority) {
+  // Validate and canonicalize HERE, synchronously: a malformed spec throws
+  // at the submission site, and a predicate is scanned exactly once.
+  spec.validate_knobs();
+  SearchSpec canonical = spec;
+  canonical.marked = spec.resolve_marked();
+  canonical.predicate = nullptr;
+  std::string key = api::canonical_key_canonicalized(canonical);
+
+  std::lock_guard lock(mutex_);
+  PQS_CHECK_MSG(!stopping_, "Service is shutting down");
+
+  // Coalesce: attach to the queued-or-running execution of the same spec —
+  // unless every previous caller already cancelled it: that execution is
+  // doomed to settle kCancelled, and a fresh caller expects a result, so
+  // it gets a fresh job (which replaces the doomed one in the index). The
+  // doomed-check and the attach happen under the job mutex, the same lock
+  // cancel() holds for its last-one-out decision, so a racing cancel
+  // either beats us (we see cancelled and go fresh) or sees our
+  // attachment (and leaves the execution running for us).
+  if (const auto it = inflight_.find(key); it != inflight_.end()) {
+    const std::shared_ptr<Job>& job = it->second;
+    std::lock_guard job_lock(job->mutex);
+    if (!job->control.cancelled()) {
+      ++stats_.submitted;
+      ++stats_.coalesced;
+      job->attached.fetch_add(1);
+      // An urgent caller must not inherit a lazy caller's queue position:
+      // if the shared job is still waiting, promote it to the higher
+      // priority (re-key the queue entry).
+      if (priority > job->priority) {
+        const auto queued =
+            queue_.find(std::make_pair(-job->priority, job->seq));
+        if (queued != queue_.end()) {
+          queue_.erase(queued);
+          job->priority = priority;
+          queue_.emplace(std::make_pair(-priority, job->seq), job);
+        }
+      }
+      return JobHandle(job, std::make_shared<std::atomic<bool>>(false));
+    }
+  }
+
+  // Repeat of a completed spec: serve the cached report, run nothing.
+  if (const SearchReport* cached = results_.find(key)) {
+    ++stats_.submitted;
+    ++stats_.cache_hits;
+    auto job = std::make_shared<Job>();
+    job->spec = std::move(canonical);
+    job->key = std::move(key);
+    job->status = JobStatus::kDone;
+    job->report = *cached;
+    job->report.queue_ns = 0;  // THIS request never queued; don't replay
+                               // the original execution's queueing delay
+    return attach(job);
+  }
+
+  if (queue_.size() >= options_.queue_capacity) {
+    reap_cancelled_locked();  // cancelled waiters must not hold slots
+  }
+  PQS_CHECK_MSG(queue_.size() < options_.queue_capacity,
+                "Service queue is full (" +
+                    std::to_string(options_.queue_capacity) +
+                    " jobs waiting); retry later or raise queue_capacity");
+  ++stats_.submitted;  // after the capacity check: rejects are not accepts
+  auto job = std::make_shared<Job>();
+  job->spec = std::move(canonical);
+  job->key = key;
+  job->priority = priority;
+  job->seq = next_seq_++;
+  job->queued_at.reset();
+  inflight_[std::move(key)] = job;  // may replace a fully-cancelled job
+  queue_.emplace(std::make_pair(-priority, job->seq), job);
+  queue_cv_.notify_one();
+  return attach(job);
+}
+
+std::size_t Service::queue_depth() const {
+  std::lock_guard lock(mutex_);
+  return queue_.size();
+}
+
+ServiceStats Service::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+void Service::reap_cancelled_locked() {
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    const std::shared_ptr<Job>& job = it->second;
+    if (!job->control.cancelled()) {
+      ++it;
+      continue;
+    }
+    // Inline finish() for a job that never ran, under the already-held
+    // mutex_ (mutex_ -> job->mutex is the sanctioned lock order).
+    if (const auto inflight = inflight_.find(job->key);
+        inflight != inflight_.end() && inflight->second == job) {
+      inflight_.erase(inflight);
+    }
+    ++stats_.cancelled;
+    {
+      std::lock_guard job_lock(job->mutex);
+      job->status = JobStatus::kCancelled;
+      job->error = "cancelled while queued";
+    }
+    job->cv.notify_all();
+    it = queue_.erase(it);
+  }
+}
+
+void Service::worker_loop() {
+  while (true) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock lock(mutex_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stopping, nothing left to run
+      }
+      job = queue_.begin()->second;
+      queue_.erase(queue_.begin());
+    }
+    execute(job);
+  }
+}
+
+void Service::execute(const std::shared_ptr<Job>& job) {
+  const std::uint64_t queue_ns = job->queued_at.nanos();
+  // Cancelled while queued (every attachment gone): never start.
+  if (job->control.cancelled()) {
+    finish(job, JobStatus::kCancelled, {}, "cancelled while queued");
+    return;
+  }
+  {
+    std::lock_guard lock(job->mutex);
+    job->status = JobStatus::kRunning;
+  }
+  {
+    std::lock_guard lock(mutex_);
+    ++stats_.executed;
+  }
+
+  try {
+    SearchReport report = engine_.run(job->spec, &job->control);
+    // A fully cancelled job settles as cancelled even when the driver won
+    // the race and completed: every caller asked out, so publishing kDone
+    // (and caching the result) would misreport what the service did.
+    if (job->control.cancelled()) {
+      finish(job, JobStatus::kCancelled, {}, "cancelled while running");
+      return;
+    }
+    report.queue_ns = queue_ns;
+    finish(job, JobStatus::kDone, std::move(report), {});
+  } catch (const qsim::CancelledError&) {
+    finish(job, JobStatus::kCancelled, {}, "cancelled while running");
+  } catch (const std::exception& e) {
+    finish(job, JobStatus::kFailed, {}, e.what());
+  }
+}
+
+void Service::finish(const std::shared_ptr<Job>& job, JobStatus status,
+                     SearchReport report, std::string error) {
+  // Service-level bookkeeping FIRST: a waiter woken by the notify below
+  // must observe the final counters and the cached result, not a stale
+  // in-between state.
+  {
+    std::lock_guard lock(mutex_);
+    // Erase only OUR index entry: a fully-cancelled job's key may already
+    // have been taken over by a fresh submission.
+    if (const auto it = inflight_.find(job->key);
+        it != inflight_.end() && it->second == job) {
+      inflight_.erase(it);
+    }
+    switch (status) {
+      case JobStatus::kDone:
+        ++stats_.done;
+        results_.put(job->key, report);
+        break;
+      case JobStatus::kCancelled:
+        ++stats_.cancelled;
+        break;
+      case JobStatus::kFailed:
+        ++stats_.failed;
+        break;
+      default:
+        break;
+    }
+  }
+  {
+    std::lock_guard lock(job->mutex);
+    job->status = status;
+    job->report = std::move(report);
+    job->error = std::move(error);
+  }
+  job->cv.notify_all();
+}
+
+}  // namespace pqs

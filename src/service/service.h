@@ -1,0 +1,185 @@
+// pqs::Service — the asynchronous, cancellable job layer over pqs::Engine.
+//
+// Engine::run answers one request on the caller's thread; a production
+// deployment has ten thousand requests in flight and cannot burn a thread
+// per call. Service is the missing piece: submit(spec) enqueues a job on a
+// bounded FIFO+priority queue served by a fixed worker pool and returns a
+// JobHandle immediately — status / wait / cancel / progress, the full job
+// lifecycle:
+//
+//     queued ── worker picks up ──> running ──> done
+//        │                            │   └───> failed   (adapter threw)
+//        └────────── cancel ──────────┴───────> cancelled
+//
+// Two request-deduplication layers sit in front of the queue:
+//   * request coalescing — concurrent submits whose canonical specs match
+//     (api::canonical_key: every result-relevant field, marked sets
+//     materialized, thread counts ignored) ATTACH to the one in-flight
+//     execution; the driver runs once and every attached handle receives
+//     the same SearchReport.
+//   * a result LRU — a spec resubmitted after completion is served from
+//     the cache without executing anything.
+//
+// Cancellation is real, not advisory: every job owns a qsim::RunControl
+// that Engine::run threads through the adapters into the shot loops, so
+// cancel() stops a running 2^30-item sweep within one shot-batch.
+// Coalescing-aware: cancelling ONE of several attached handles only
+// detaches that caller (its handle reads kCancelled); the underlying
+// execution stops when the LAST attached handle cancels. A cancelled
+// handle never reports kDone.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "api/engine.h"
+#include "common/lru.h"
+#include "qsim/run_control.h"
+
+namespace pqs {
+
+enum class JobStatus { kQueued, kRunning, kDone, kCancelled, kFailed };
+
+std::string_view to_string(JobStatus status);
+
+struct ServiceOptions {
+  /// Worker threads executing jobs (>= 1).
+  unsigned threads = 2;
+  /// Most jobs allowed to WAIT in the queue; a submit beyond this throws
+  /// (bounded queues surface overload at the edge instead of growing RSS).
+  std::size_t queue_capacity = 256;
+  /// Completed SearchReports kept for repeat submits (LRU).
+  std::size_t result_cache_capacity = 128;
+  /// Bound of the shared Engine's plan cache.
+  std::size_t plan_cache_capacity = Planner::kDefaultCapacity;
+};
+
+/// Monotonic counters of one Service (a deployment's dashboard numbers).
+struct ServiceStats {
+  std::uint64_t submitted = 0;   ///< submit() calls accepted
+  std::uint64_t coalesced = 0;   ///< submits attached to an in-flight job
+  std::uint64_t cache_hits = 0;  ///< submits served from the result cache
+  std::uint64_t executed = 0;    ///< jobs a worker actually ran
+  std::uint64_t done = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t failed = 0;
+};
+
+namespace detail {
+struct Job;
+}  // namespace detail
+
+/// One caller's attachment to a job. Handles are cheap to copy (copies
+/// share the attachment); independent submits of the same spec get
+/// independent attachments to the same underlying job.
+class JobHandle {
+ public:
+  /// Lifecycle state as seen by THIS handle: a cancelled handle reads
+  /// kCancelled even if the coalesced execution later completes for the
+  /// other attached callers.
+  JobStatus status() const;
+  /// True once status() is kDone / kCancelled / kFailed.
+  bool finished() const;
+  /// Completed fraction of the underlying execution in [0, 1].
+  double progress() const;
+
+  /// Block until finished; returns the final status.
+  JobStatus wait() const;
+  /// Block up to `timeout`; returns the (possibly still running) status.
+  JobStatus wait_for(std::chrono::milliseconds timeout) const;
+
+  /// Cancel this attachment. Queued jobs never start; a running job stops
+  /// at its next checkpoint — unless other callers are still attached, in
+  /// which case only this handle detaches and the execution continues for
+  /// them. Idempotent.
+  void cancel();
+
+  /// The report. Requires status() == kDone (throws otherwise).
+  const SearchReport& report() const;
+  /// The failure message. Requires status() == kFailed (throws otherwise).
+  const std::string& error() const;
+
+  /// The canonicalized spec this job executes and its coalescing key.
+  const SearchSpec& spec() const;
+  const std::string& key() const;
+
+ private:
+  friend class Service;
+  JobHandle(std::shared_ptr<detail::Job> job,
+            std::shared_ptr<std::atomic<bool>> cancelled)
+      : job_(std::move(job)), cancelled_(std::move(cancelled)) {}
+
+  JobStatus status_locked() const;
+
+  std::shared_ptr<detail::Job> job_;
+  std::shared_ptr<std::atomic<bool>> cancelled_;  ///< this attachment only
+};
+
+class Service {
+ public:
+  /// A service over the built-in registry (all 13 drivers).
+  explicit Service(ServiceOptions options = {});
+  /// A service over a caller-assembled registry (custom algorithms — the
+  /// hook the coalescing tests use to count driver executions).
+  Service(ServiceOptions options, Registry registry);
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Cancels everything still queued or running, then joins the workers.
+  ~Service();
+
+  /// Enqueue one request (validated here, synchronously — a malformed spec
+  /// throws at the submission site, not inside a worker). Higher priority
+  /// runs first; FIFO within a priority level; a coalesced submit promotes
+  /// the shared queued job to the highest attached priority. Throws when
+  /// the queue is at capacity. Predicate specs are materialized here, once.
+  JobHandle submit(const SearchSpec& spec, int priority = 0);
+
+  /// Jobs waiting in the queue right now.
+  std::size_t queue_depth() const;
+  ServiceStats stats() const;
+  const Engine& engine() const { return engine_; }
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  void worker_loop();
+  void execute(const std::shared_ptr<detail::Job>& job);
+  /// Move a job to a terminal state, publish the result, wake waiters.
+  void finish(const std::shared_ptr<detail::Job>& job, JobStatus status,
+              SearchReport report, std::string error);
+  /// Settle every fully-cancelled job still waiting in the queue (called
+  /// with mutex_ held when the queue hits capacity): cancellation must be
+  /// able to shed load, not just mark jobs a worker will discard later.
+  void reap_cancelled_locked();
+  JobHandle attach(const std::shared_ptr<detail::Job>& job);
+
+  ServiceOptions options_;
+  Engine engine_;
+
+  mutable std::mutex mutex_;  ///< guards queue_, inflight_, results_, stats_
+  std::condition_variable queue_cv_;
+  /// (-priority, sequence) -> job: begin() is the next job to run.
+  std::map<std::pair<int, std::uint64_t>, std::shared_ptr<detail::Job>>
+      queue_;
+  /// canonical key -> queued-or-running job (the coalescing index).
+  std::map<std::string, std::shared_ptr<detail::Job>> inflight_;
+  LruMap<std::string, SearchReport> results_;
+  ServiceStats stats_;
+  std::uint64_t next_seq_ = 0;
+  bool stopping_ = false;
+
+  std::vector<std::thread> workers_;  ///< constructed last, joined first
+};
+
+}  // namespace pqs

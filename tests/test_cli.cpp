@@ -67,6 +67,20 @@ TEST(Cli, FinishRejectsUnknownFlags) {
   EXPECT_THROW(cli.finish(), CheckFailure);
 }
 
+TEST(Cli, UnknownFlagErrorNamesTheFlagAndSuggests) {
+  auto cli = make_cli({"--shotz", "100"});
+  cli.get_int("shots", 1, "measurement shots");
+  cli.get_int("seed", 2005, "rng seed");
+  try {
+    cli.finish();
+    FAIL() << "expected CheckFailure";
+  } catch (const CheckFailure& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("--shotz"), std::string::npos);
+    EXPECT_NE(message.find("did you mean --shots?"), std::string::npos);
+  }
+}
+
 TEST(Cli, FinishAcceptsDeclaredFlags) {
   auto cli = make_cli({"--n", "3"});
   cli.get_int("n", 0, "qubits");

@@ -1,0 +1,203 @@
+// pqs_serve — the JSONL process front-end of pqs::Service.
+//
+// Reads one request object per stdin line, streams one event object per
+// stdout line. This is the process shape a fleet deployment fronts with
+// any RPC framework (or a shell pipe — see the README transcript):
+//
+//   requests (stdin)
+//     {"op":"submit","id":"a","spec":{"algorithm":"grk","n_items":4096,...}}
+//     {"op":"submit","id":"b","spec":{...},"priority":5}
+//     {"op":"cancel","id":"a"}
+//
+//   events (stdout)
+//     {"event":"accepted","id":"a"}                        immediate ack
+//     {"event":"cancelling","id":"a"}                      cancel ack
+//     {"event":"result","id":"a","status":"done","report":{...}}
+//     {"event":"result","id":"a","status":"cancelled"}
+//     {"event":"result","id":"a","status":"failed","error":"..."}
+//     {"event":"error","message":"..."}                    bad request line
+//
+// Result events are emitted in SUBMISSION order by a dedicated emitter
+// thread (completion order may differ under a multi-worker pool), and the
+// report payload zeroes the wall-clock timing fields unless --timing is
+// passed — together that makes the stream of result lines a deterministic
+// function of the request file at fixed seeds, which CI diffs byte-for-byte.
+#include <cmath>
+#include <condition_variable>
+#include <deque>
+#include <iostream>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "api/serialize.h"
+#include "common/check.h"
+#include "common/cli.h"
+#include "common/json.h"
+#include "service/flags.h"
+#include "service/service.h"
+
+namespace {
+
+using namespace pqs;
+
+std::mutex g_out_mutex;
+
+void emit(const Json& event) {
+  const std::string line = event.dump();
+  std::lock_guard lock(g_out_mutex);
+  std::cout << line << "\n" << std::flush;
+}
+
+void emit_error(const std::string& message) {
+  Json event = Json::make_object();
+  event["event"] = "error";
+  event["message"] = message;
+  emit(event);
+}
+
+Json result_event(const std::string& id, const JobHandle& handle,
+                  bool with_timing) {
+  const JobStatus status = handle.status();
+  Json event = Json::make_object();
+  event["event"] = "result";
+  event["id"] = id;
+  event["status"] = std::string(to_string(status));
+  if (status == JobStatus::kDone) {
+    SearchReport report = handle.report();
+    if (!with_timing) {
+      // The answer fields are deterministic at fixed seed; these four
+      // describe how the run happened to execute (wall clock, cache
+      // warmth under racing workers) and would break byte-for-byte diffs.
+      report.queue_ns = 0;
+      report.plan_ns = 0;
+      report.exec_ns = 0;
+      report.plan_cache_hit = false;
+    }
+    event["report"] = api::to_json(report);
+  } else if (status == JobStatus::kFailed) {
+    event["error"] = handle.error();
+  }
+  return event;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const ServiceOptions options = service::parse_service_flags(cli);
+  const bool with_timing = cli.get_bool(
+      "timing", false,
+      "emit real queue/plan/exec timing in result payloads (off keeps the "
+      "output byte-deterministic at fixed seeds)");
+  if (cli.help_requested()) {
+    std::cout << cli.help();
+    return 0;
+  }
+  cli.finish();
+
+  Service service(options);
+  std::cerr << "pqs_serve: " << options.threads << " worker(s), queue depth "
+            << options.queue_capacity << "; reading JSONL from stdin\n";
+
+  // Finished jobs are announced in submission order: the emitter walks the
+  // pending list front to back and blocks on each handle in turn. `jobs`
+  // (the cancel index) is shared with the emitter, which prunes each entry
+  // after announcing it — ids are reusable once their result is out, and a
+  // long-lived server does not accumulate one handle per request forever.
+  std::mutex pending_mutex;
+  std::condition_variable pending_cv;
+  std::deque<std::pair<std::string, JobHandle>> pending;
+  bool input_done = false;
+  std::map<std::string, JobHandle> jobs;
+
+  std::thread emitter([&] {
+    while (true) {
+      std::unique_lock lock(pending_mutex);
+      pending_cv.wait(lock, [&] { return input_done || !pending.empty(); });
+      if (pending.empty()) {
+        return;  // input finished and everything announced
+      }
+      const auto next = std::move(pending.front());
+      pending.pop_front();
+      lock.unlock();
+      next.second.wait();
+      const Json event = result_event(next.first, next.second, with_timing);
+      // Free the id BEFORE the result line goes out: a client that reacts
+      // to the result by reusing the id must never race the erase.
+      lock.lock();
+      jobs.erase(next.first);
+      lock.unlock();
+      emit(event);
+    }
+  });
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    try {
+      const Json request = Json::parse(line);
+      const std::string& op = request.at("op").as_string();
+      const std::string& id = request.at("id").as_string();
+      if (op == "submit") {
+        {
+          std::lock_guard lock(pending_mutex);
+          PQS_CHECK_MSG(!jobs.contains(id),
+                        "duplicate in-flight job id \"" + id + "\"");
+        }
+        // as_double accepts both wire number kinds; negative priorities
+        // (below-default urgency) are valid ints but parse as doubles.
+        const int priority =
+            request.has("priority")
+                ? static_cast<int>(
+                      std::llround(request.at("priority").as_double()))
+                : 0;
+        JobHandle handle =
+            service.submit(api::spec_from_json(request.at("spec")), priority);
+        {
+          std::lock_guard lock(pending_mutex);
+          jobs.emplace(id, handle);
+        }
+        // Ack BEFORE the emitter can see the handle: a cache-served job is
+        // already done, and its result must not precede the accepted event.
+        Json event = Json::make_object();
+        event["event"] = "accepted";
+        event["id"] = id;
+        emit(event);
+        {
+          std::lock_guard lock(pending_mutex);
+          pending.emplace_back(id, std::move(handle));
+        }
+        pending_cv.notify_one();
+      } else if (op == "cancel") {
+        JobHandle target = [&] {
+          std::lock_guard lock(pending_mutex);
+          const auto it = jobs.find(id);
+          PQS_CHECK_MSG(it != jobs.end(),
+                        "unknown or already-finished job id \"" + id + "\"");
+          return it->second;
+        }();
+        target.cancel();
+        Json event = Json::make_object();
+        event["event"] = "cancelling";
+        event["id"] = id;
+        emit(event);
+      } else {
+        emit_error("unknown op \"" + op + "\" (expected submit | cancel)");
+      }
+    } catch (const std::exception& e) {
+      emit_error(e.what());
+    }
+  }
+
+  {
+    std::lock_guard lock(pending_mutex);
+    input_done = true;
+  }
+  pending_cv.notify_all();
+  emitter.join();  // drains every submitted job before the service stops
+  return 0;
+}
