@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/async_jobs.dir/examples/async_jobs.cpp.o"
+  "CMakeFiles/async_jobs.dir/examples/async_jobs.cpp.o.d"
+  "examples/async_jobs"
+  "examples/async_jobs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/async_jobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

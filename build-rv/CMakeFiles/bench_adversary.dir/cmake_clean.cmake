@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_adversary.dir/bench/bench_adversary.cpp.o"
+  "CMakeFiles/bench_adversary.dir/bench/bench_adversary.cpp.o.d"
+  "bench/bench_adversary"
+  "bench/bench_adversary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_adversary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_classical.dir/bench/bench_classical.cpp.o"
+  "CMakeFiles/bench_classical.dir/bench/bench_classical.cpp.o.d"
+  "bench/bench_classical"
+  "bench/bench_classical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_classical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_twelve.dir/bench/bench_fig1_twelve.cpp.o"
+  "CMakeFiles/bench_fig1_twelve.dir/bench/bench_fig1_twelve.cpp.o.d"
+  "bench/bench_fig1_twelve"
+  "bench/bench_fig1_twelve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_twelve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

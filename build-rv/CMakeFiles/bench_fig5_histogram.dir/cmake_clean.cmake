@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_histogram.dir/bench/bench_fig5_histogram.cpp.o"
+  "CMakeFiles/bench_fig5_histogram.dir/bench/bench_fig5_histogram.cpp.o.d"
+  "bench/bench_fig5_histogram"
+  "bench/bench_fig5_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

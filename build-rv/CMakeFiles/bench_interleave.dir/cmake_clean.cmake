@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_interleave.dir/bench/bench_interleave.cpp.o"
+  "CMakeFiles/bench_interleave.dir/bench/bench_interleave.cpp.o.d"
+  "bench/bench_interleave"
+  "bench/bench_interleave.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_interleave.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

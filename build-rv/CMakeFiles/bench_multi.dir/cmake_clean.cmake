@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multi.dir/bench/bench_multi.cpp.o"
+  "CMakeFiles/bench_multi.dir/bench/bench_multi.cpp.o.d"
+  "bench/bench_multi"
+  "bench/bench_multi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

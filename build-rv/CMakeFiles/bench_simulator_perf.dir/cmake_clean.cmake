@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_simulator_perf.dir/bench/bench_simulator_perf.cpp.o"
+  "CMakeFiles/bench_simulator_perf.dir/bench/bench_simulator_perf.cpp.o.d"
+  "bench/bench_simulator_perf"
+  "bench/bench_simulator_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_simulator_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_zalka.dir/bench/bench_zalka.cpp.o"
+  "CMakeFiles/bench_zalka.dir/bench/bench_zalka.cpp.o.d"
+  "bench/bench_zalka"
+  "bench/bench_zalka.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_zalka.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hierarchical_search.dir/examples/hierarchical_search.cpp.o"
+  "CMakeFiles/hierarchical_search.dir/examples/hierarchical_search.cpp.o.d"
+  "examples/hierarchical_search"
+  "examples/hierarchical_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hierarchical_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/huge_partial_search.dir/examples/huge_partial_search.cpp.o"
+  "CMakeFiles/huge_partial_search.dir/examples/huge_partial_search.cpp.o.d"
+  "examples/huge_partial_search"
+  "examples/huge_partial_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/huge_partial_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for huge_partial_search.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merit_list.dir/examples/merit_list.cpp.o"
+  "CMakeFiles/merit_list.dir/examples/merit_list.cpp.o.d"
+  "examples/merit_list"
+  "examples/merit_list.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merit_list.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

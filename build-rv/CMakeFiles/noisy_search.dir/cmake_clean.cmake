@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noisy_search.dir/examples/noisy_search.cpp.o"
+  "CMakeFiles/noisy_search.dir/examples/noisy_search.cpp.o.d"
+  "examples/noisy_search"
+  "examples/noisy_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noisy_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

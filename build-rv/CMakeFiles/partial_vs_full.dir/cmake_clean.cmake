@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partial_vs_full.dir/examples/partial_vs_full.cpp.o"
+  "CMakeFiles/partial_vs_full.dir/examples/partial_vs_full.cpp.o.d"
+  "examples/partial_vs_full"
+  "examples/partial_vs_full.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partial_vs_full.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,82 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/api/algorithms/ampamp.cpp" "CMakeFiles/pqs.dir/src/api/algorithms/ampamp.cpp.o" "gcc" "CMakeFiles/pqs.dir/src/api/algorithms/ampamp.cpp.o.d"
+  "/root/repo/src/api/algorithms/bbht.cpp" "CMakeFiles/pqs.dir/src/api/algorithms/bbht.cpp.o" "gcc" "CMakeFiles/pqs.dir/src/api/algorithms/bbht.cpp.o.d"
+  "/root/repo/src/api/algorithms/certainty.cpp" "CMakeFiles/pqs.dir/src/api/algorithms/certainty.cpp.o" "gcc" "CMakeFiles/pqs.dir/src/api/algorithms/certainty.cpp.o.d"
+  "/root/repo/src/api/algorithms/classical.cpp" "CMakeFiles/pqs.dir/src/api/algorithms/classical.cpp.o" "gcc" "CMakeFiles/pqs.dir/src/api/algorithms/classical.cpp.o.d"
+  "/root/repo/src/api/algorithms/exact.cpp" "CMakeFiles/pqs.dir/src/api/algorithms/exact.cpp.o" "gcc" "CMakeFiles/pqs.dir/src/api/algorithms/exact.cpp.o.d"
+  "/root/repo/src/api/algorithms/grk.cpp" "CMakeFiles/pqs.dir/src/api/algorithms/grk.cpp.o" "gcc" "CMakeFiles/pqs.dir/src/api/algorithms/grk.cpp.o.d"
+  "/root/repo/src/api/algorithms/grover.cpp" "CMakeFiles/pqs.dir/src/api/algorithms/grover.cpp.o" "gcc" "CMakeFiles/pqs.dir/src/api/algorithms/grover.cpp.o.d"
+  "/root/repo/src/api/algorithms/interleave.cpp" "CMakeFiles/pqs.dir/src/api/algorithms/interleave.cpp.o" "gcc" "CMakeFiles/pqs.dir/src/api/algorithms/interleave.cpp.o.d"
+  "/root/repo/src/api/algorithms/multi.cpp" "CMakeFiles/pqs.dir/src/api/algorithms/multi.cpp.o" "gcc" "CMakeFiles/pqs.dir/src/api/algorithms/multi.cpp.o.d"
+  "/root/repo/src/api/algorithms/noisy.cpp" "CMakeFiles/pqs.dir/src/api/algorithms/noisy.cpp.o" "gcc" "CMakeFiles/pqs.dir/src/api/algorithms/noisy.cpp.o.d"
+  "/root/repo/src/api/algorithms/reduction.cpp" "CMakeFiles/pqs.dir/src/api/algorithms/reduction.cpp.o" "gcc" "CMakeFiles/pqs.dir/src/api/algorithms/reduction.cpp.o.d"
+  "/root/repo/src/api/algorithms/twelve.cpp" "CMakeFiles/pqs.dir/src/api/algorithms/twelve.cpp.o" "gcc" "CMakeFiles/pqs.dir/src/api/algorithms/twelve.cpp.o.d"
+  "/root/repo/src/api/algorithms/zalka.cpp" "CMakeFiles/pqs.dir/src/api/algorithms/zalka.cpp.o" "gcc" "CMakeFiles/pqs.dir/src/api/algorithms/zalka.cpp.o.d"
+  "/root/repo/src/api/engine.cpp" "CMakeFiles/pqs.dir/src/api/engine.cpp.o" "gcc" "CMakeFiles/pqs.dir/src/api/engine.cpp.o.d"
+  "/root/repo/src/api/flags.cpp" "CMakeFiles/pqs.dir/src/api/flags.cpp.o" "gcc" "CMakeFiles/pqs.dir/src/api/flags.cpp.o.d"
+  "/root/repo/src/api/planner.cpp" "CMakeFiles/pqs.dir/src/api/planner.cpp.o" "gcc" "CMakeFiles/pqs.dir/src/api/planner.cpp.o.d"
+  "/root/repo/src/api/registry.cpp" "CMakeFiles/pqs.dir/src/api/registry.cpp.o" "gcc" "CMakeFiles/pqs.dir/src/api/registry.cpp.o.d"
+  "/root/repo/src/api/search_spec.cpp" "CMakeFiles/pqs.dir/src/api/search_spec.cpp.o" "gcc" "CMakeFiles/pqs.dir/src/api/search_spec.cpp.o.d"
+  "/root/repo/src/api/serialize.cpp" "CMakeFiles/pqs.dir/src/api/serialize.cpp.o" "gcc" "CMakeFiles/pqs.dir/src/api/serialize.cpp.o.d"
+  "/root/repo/src/classical/adversary.cpp" "CMakeFiles/pqs.dir/src/classical/adversary.cpp.o" "gcc" "CMakeFiles/pqs.dir/src/classical/adversary.cpp.o.d"
+  "/root/repo/src/classical/montecarlo.cpp" "CMakeFiles/pqs.dir/src/classical/montecarlo.cpp.o" "gcc" "CMakeFiles/pqs.dir/src/classical/montecarlo.cpp.o.d"
+  "/root/repo/src/classical/search.cpp" "CMakeFiles/pqs.dir/src/classical/search.cpp.o" "gcc" "CMakeFiles/pqs.dir/src/classical/search.cpp.o.d"
+  "/root/repo/src/common/check.cpp" "CMakeFiles/pqs.dir/src/common/check.cpp.o" "gcc" "CMakeFiles/pqs.dir/src/common/check.cpp.o.d"
+  "/root/repo/src/common/cli.cpp" "CMakeFiles/pqs.dir/src/common/cli.cpp.o" "gcc" "CMakeFiles/pqs.dir/src/common/cli.cpp.o.d"
+  "/root/repo/src/common/json.cpp" "CMakeFiles/pqs.dir/src/common/json.cpp.o" "gcc" "CMakeFiles/pqs.dir/src/common/json.cpp.o.d"
+  "/root/repo/src/common/math.cpp" "CMakeFiles/pqs.dir/src/common/math.cpp.o" "gcc" "CMakeFiles/pqs.dir/src/common/math.cpp.o.d"
+  "/root/repo/src/common/random.cpp" "CMakeFiles/pqs.dir/src/common/random.cpp.o" "gcc" "CMakeFiles/pqs.dir/src/common/random.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "CMakeFiles/pqs.dir/src/common/stats.cpp.o" "gcc" "CMakeFiles/pqs.dir/src/common/stats.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "CMakeFiles/pqs.dir/src/common/table.cpp.o" "gcc" "CMakeFiles/pqs.dir/src/common/table.cpp.o.d"
+  "/root/repo/src/common/timing.cpp" "CMakeFiles/pqs.dir/src/common/timing.cpp.o" "gcc" "CMakeFiles/pqs.dir/src/common/timing.cpp.o.d"
+  "/root/repo/src/grover/amplitude_amplification.cpp" "CMakeFiles/pqs.dir/src/grover/amplitude_amplification.cpp.o" "gcc" "CMakeFiles/pqs.dir/src/grover/amplitude_amplification.cpp.o.d"
+  "/root/repo/src/grover/bbht.cpp" "CMakeFiles/pqs.dir/src/grover/bbht.cpp.o" "gcc" "CMakeFiles/pqs.dir/src/grover/bbht.cpp.o.d"
+  "/root/repo/src/grover/exact.cpp" "CMakeFiles/pqs.dir/src/grover/exact.cpp.o" "gcc" "CMakeFiles/pqs.dir/src/grover/exact.cpp.o.d"
+  "/root/repo/src/grover/grover.cpp" "CMakeFiles/pqs.dir/src/grover/grover.cpp.o" "gcc" "CMakeFiles/pqs.dir/src/grover/grover.cpp.o.d"
+  "/root/repo/src/oracle/blocks.cpp" "CMakeFiles/pqs.dir/src/oracle/blocks.cpp.o" "gcc" "CMakeFiles/pqs.dir/src/oracle/blocks.cpp.o.d"
+  "/root/repo/src/oracle/database.cpp" "CMakeFiles/pqs.dir/src/oracle/database.cpp.o" "gcc" "CMakeFiles/pqs.dir/src/oracle/database.cpp.o.d"
+  "/root/repo/src/oracle/marked_set.cpp" "CMakeFiles/pqs.dir/src/oracle/marked_set.cpp.o" "gcc" "CMakeFiles/pqs.dir/src/oracle/marked_set.cpp.o.d"
+  "/root/repo/src/oracle/merit_list.cpp" "CMakeFiles/pqs.dir/src/oracle/merit_list.cpp.o" "gcc" "CMakeFiles/pqs.dir/src/oracle/merit_list.cpp.o.d"
+  "/root/repo/src/partial/analytic.cpp" "CMakeFiles/pqs.dir/src/partial/analytic.cpp.o" "gcc" "CMakeFiles/pqs.dir/src/partial/analytic.cpp.o.d"
+  "/root/repo/src/partial/bounds.cpp" "CMakeFiles/pqs.dir/src/partial/bounds.cpp.o" "gcc" "CMakeFiles/pqs.dir/src/partial/bounds.cpp.o.d"
+  "/root/repo/src/partial/certainty.cpp" "CMakeFiles/pqs.dir/src/partial/certainty.cpp.o" "gcc" "CMakeFiles/pqs.dir/src/partial/certainty.cpp.o.d"
+  "/root/repo/src/partial/grk.cpp" "CMakeFiles/pqs.dir/src/partial/grk.cpp.o" "gcc" "CMakeFiles/pqs.dir/src/partial/grk.cpp.o.d"
+  "/root/repo/src/partial/interleave.cpp" "CMakeFiles/pqs.dir/src/partial/interleave.cpp.o" "gcc" "CMakeFiles/pqs.dir/src/partial/interleave.cpp.o.d"
+  "/root/repo/src/partial/multi.cpp" "CMakeFiles/pqs.dir/src/partial/multi.cpp.o" "gcc" "CMakeFiles/pqs.dir/src/partial/multi.cpp.o.d"
+  "/root/repo/src/partial/noisy.cpp" "CMakeFiles/pqs.dir/src/partial/noisy.cpp.o" "gcc" "CMakeFiles/pqs.dir/src/partial/noisy.cpp.o.d"
+  "/root/repo/src/partial/optimizer.cpp" "CMakeFiles/pqs.dir/src/partial/optimizer.cpp.o" "gcc" "CMakeFiles/pqs.dir/src/partial/optimizer.cpp.o.d"
+  "/root/repo/src/partial/phase_match.cpp" "CMakeFiles/pqs.dir/src/partial/phase_match.cpp.o" "gcc" "CMakeFiles/pqs.dir/src/partial/phase_match.cpp.o.d"
+  "/root/repo/src/partial/twelve.cpp" "CMakeFiles/pqs.dir/src/partial/twelve.cpp.o" "gcc" "CMakeFiles/pqs.dir/src/partial/twelve.cpp.o.d"
+  "/root/repo/src/qsim/backend.cpp" "CMakeFiles/pqs.dir/src/qsim/backend.cpp.o" "gcc" "CMakeFiles/pqs.dir/src/qsim/backend.cpp.o.d"
+  "/root/repo/src/qsim/batch.cpp" "CMakeFiles/pqs.dir/src/qsim/batch.cpp.o" "gcc" "CMakeFiles/pqs.dir/src/qsim/batch.cpp.o.d"
+  "/root/repo/src/qsim/circuit.cpp" "CMakeFiles/pqs.dir/src/qsim/circuit.cpp.o" "gcc" "CMakeFiles/pqs.dir/src/qsim/circuit.cpp.o.d"
+  "/root/repo/src/qsim/diffusion.cpp" "CMakeFiles/pqs.dir/src/qsim/diffusion.cpp.o" "gcc" "CMakeFiles/pqs.dir/src/qsim/diffusion.cpp.o.d"
+  "/root/repo/src/qsim/flags.cpp" "CMakeFiles/pqs.dir/src/qsim/flags.cpp.o" "gcc" "CMakeFiles/pqs.dir/src/qsim/flags.cpp.o.d"
+  "/root/repo/src/qsim/gates.cpp" "CMakeFiles/pqs.dir/src/qsim/gates.cpp.o" "gcc" "CMakeFiles/pqs.dir/src/qsim/gates.cpp.o.d"
+  "/root/repo/src/qsim/gates2.cpp" "CMakeFiles/pqs.dir/src/qsim/gates2.cpp.o" "gcc" "CMakeFiles/pqs.dir/src/qsim/gates2.cpp.o.d"
+  "/root/repo/src/qsim/kernels.cpp" "CMakeFiles/pqs.dir/src/qsim/kernels.cpp.o" "gcc" "CMakeFiles/pqs.dir/src/qsim/kernels.cpp.o.d"
+  "/root/repo/src/qsim/measurement.cpp" "CMakeFiles/pqs.dir/src/qsim/measurement.cpp.o" "gcc" "CMakeFiles/pqs.dir/src/qsim/measurement.cpp.o.d"
+  "/root/repo/src/qsim/noise.cpp" "CMakeFiles/pqs.dir/src/qsim/noise.cpp.o" "gcc" "CMakeFiles/pqs.dir/src/qsim/noise.cpp.o.d"
+  "/root/repo/src/qsim/simulator.cpp" "CMakeFiles/pqs.dir/src/qsim/simulator.cpp.o" "gcc" "CMakeFiles/pqs.dir/src/qsim/simulator.cpp.o.d"
+  "/root/repo/src/qsim/state_vector.cpp" "CMakeFiles/pqs.dir/src/qsim/state_vector.cpp.o" "gcc" "CMakeFiles/pqs.dir/src/qsim/state_vector.cpp.o.d"
+  "/root/repo/src/reduction/reduction.cpp" "CMakeFiles/pqs.dir/src/reduction/reduction.cpp.o" "gcc" "CMakeFiles/pqs.dir/src/reduction/reduction.cpp.o.d"
+  "/root/repo/src/service/flags.cpp" "CMakeFiles/pqs.dir/src/service/flags.cpp.o" "gcc" "CMakeFiles/pqs.dir/src/service/flags.cpp.o.d"
+  "/root/repo/src/service/service.cpp" "CMakeFiles/pqs.dir/src/service/service.cpp.o" "gcc" "CMakeFiles/pqs.dir/src/service/service.cpp.o.d"
+  "/root/repo/src/zalka/zalka.cpp" "CMakeFiles/pqs.dir/src/zalka/zalka.cpp.o" "gcc" "CMakeFiles/pqs.dir/src/zalka/zalka.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for pqs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pqs_serve.dir/tools/pqs_serve.cpp.o"
+  "CMakeFiles/pqs_serve.dir/tools/pqs_serve.cpp.o.d"
+  "tools/pqs_serve"
+  "tools/pqs_serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pqs_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

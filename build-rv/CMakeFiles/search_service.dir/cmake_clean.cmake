@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/search_service.dir/examples/search_service.cpp.o"
+  "CMakeFiles/search_service.dir/examples/search_service.cpp.o.d"
+  "examples/search_service"
+  "examples/search_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/search_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

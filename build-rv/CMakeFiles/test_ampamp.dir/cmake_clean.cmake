@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ampamp.dir/tests/test_ampamp.cpp.o"
+  "CMakeFiles/test_ampamp.dir/tests/test_ampamp.cpp.o.d"
+  "test_ampamp"
+  "test_ampamp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ampamp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_api_concurrency.dir/tests/test_api_concurrency.cpp.o"
+  "CMakeFiles/test_api_concurrency.dir/tests/test_api_concurrency.cpp.o.d"
+  "test_api_concurrency"
+  "test_api_concurrency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_api_concurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

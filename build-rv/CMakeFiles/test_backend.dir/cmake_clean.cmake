@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_backend.dir/tests/test_backend.cpp.o"
+  "CMakeFiles/test_backend.dir/tests/test_backend.cpp.o.d"
+  "test_backend"
+  "test_backend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bbht.dir/tests/test_bbht.cpp.o"
+  "CMakeFiles/test_bbht.dir/tests/test_bbht.cpp.o.d"
+  "test_bbht"
+  "test_bbht.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bbht.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

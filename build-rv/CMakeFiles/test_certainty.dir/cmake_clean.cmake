@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_certainty.dir/tests/test_certainty.cpp.o"
+  "CMakeFiles/test_certainty.dir/tests/test_certainty.cpp.o.d"
+  "test_certainty"
+  "test_certainty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_certainty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_classical.dir/tests/test_classical.cpp.o"
+  "CMakeFiles/test_classical.dir/tests/test_classical.cpp.o.d"
+  "test_classical"
+  "test_classical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_classical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gates.dir/tests/test_gates.cpp.o"
+  "CMakeFiles/test_gates.dir/tests/test_gates.cpp.o.d"
+  "test_gates"
+  "test_gates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

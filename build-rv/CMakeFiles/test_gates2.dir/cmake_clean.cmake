@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gates2.dir/tests/test_gates2.cpp.o"
+  "CMakeFiles/test_gates2.dir/tests/test_gates2.cpp.o.d"
+  "test_gates2"
+  "test_gates2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gates2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

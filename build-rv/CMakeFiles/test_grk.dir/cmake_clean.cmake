@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_grk.dir/tests/test_grk.cpp.o"
+  "CMakeFiles/test_grk.dir/tests/test_grk.cpp.o.d"
+  "test_grk"
+  "test_grk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_grk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_grover.dir/tests/test_grover.cpp.o"
+  "CMakeFiles/test_grover.dir/tests/test_grover.cpp.o.d"
+  "test_grover"
+  "test_grover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_grover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

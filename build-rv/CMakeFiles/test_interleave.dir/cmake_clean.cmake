@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_interleave.dir/tests/test_interleave.cpp.o"
+  "CMakeFiles/test_interleave.dir/tests/test_interleave.cpp.o.d"
+  "test_interleave"
+  "test_interleave.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_interleave.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

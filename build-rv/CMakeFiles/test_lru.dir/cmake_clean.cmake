@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lru.dir/tests/test_lru.cpp.o"
+  "CMakeFiles/test_lru.dir/tests/test_lru.cpp.o.d"
+  "test_lru"
+  "test_lru.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lru.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

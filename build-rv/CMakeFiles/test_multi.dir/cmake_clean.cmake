@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multi.dir/tests/test_multi.cpp.o"
+  "CMakeFiles/test_multi.dir/tests/test_multi.cpp.o.d"
+  "test_multi"
+  "test_multi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_oracle.dir/tests/test_oracle.cpp.o"
+  "CMakeFiles/test_oracle.dir/tests/test_oracle.cpp.o.d"
+  "test_oracle"
+  "test_oracle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

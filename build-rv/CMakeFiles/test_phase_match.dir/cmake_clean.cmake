@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phase_match.dir/tests/test_phase_match.cpp.o"
+  "CMakeFiles/test_phase_match.dir/tests/test_phase_match.cpp.o.d"
+  "test_phase_match"
+  "test_phase_match.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phase_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

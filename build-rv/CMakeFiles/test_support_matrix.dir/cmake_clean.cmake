@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_support_matrix.dir/tests/test_support_matrix.cpp.o"
+  "CMakeFiles/test_support_matrix.dir/tests/test_support_matrix.cpp.o.d"
+  "test_support_matrix"
+  "test_support_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_support_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_twelve.dir/tests/test_twelve.cpp.o"
+  "CMakeFiles/test_twelve.dir/tests/test_twelve.cpp.o.d"
+  "test_twelve"
+  "test_twelve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_twelve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_umbrella.dir/tests/test_umbrella.cpp.o"
+  "CMakeFiles/test_umbrella.dir/tests/test_umbrella.cpp.o.d"
+  "test_umbrella"
+  "test_umbrella.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_umbrella.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zalka.dir/tests/test_zalka.cpp.o"
+  "CMakeFiles/test_zalka.dir/tests/test_zalka.cpp.o.d"
+  "test_zalka"
+  "test_zalka.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zalka.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

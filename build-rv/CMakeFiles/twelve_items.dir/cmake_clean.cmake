@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twelve_items.dir/examples/twelve_items.cpp.o"
+  "CMakeFiles/twelve_items.dir/examples/twelve_items.cpp.o.d"
+  "examples/twelve_items"
+  "examples/twelve_items.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twelve_items.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
