@@ -1,9 +1,13 @@
 // Experiment P1 (engineering ablation): throughput of the simulation
 // engines, machine-readable.
 //
-// Three sections:
+// Sections:
 //   kernels     per-iteration cost of the dense O(N) kernels (the historical
 //               numbers that justified the fused diffusion implementation)
+//   dense_simd  the SoA/ISA kernel tiers (qsim/isa.h): the two reflection
+//               work-horses at n >= 22 and an end-to-end n = 24 Grover
+//               loop, once per tier this machine supports, with speedups
+//               relative to the scalar tier
 //   backends    dense vs symmetry cost of one full GRK run at growing n —
 //               the O(N) -> O(K) gap the pluggable-backend refactor buys,
 //               including symmetry-only rows far beyond dense reach (n=48)
@@ -34,6 +38,7 @@
 #include "partial/optimizer.h"
 #include "qsim/backend.h"
 #include "qsim/batch.h"
+#include "qsim/isa.h"
 #include "qsim/simulator.h"
 #include "service/service.h"
 
@@ -67,6 +72,29 @@ std::string json_num(double v) {
   os << v;
   return os.str();
 }
+
+/// Best-of-`trials` mean seconds per call of `op` (reps calls per trial).
+/// Best-of filters scheduler noise; the repetitions keep the fused
+/// sum-cache warm, which is the steady state of the Grover loop.
+template <typename Op>
+double best_seconds_per_op(int trials, int reps, Op&& op) {
+  double best = 1e100;
+  for (int t = 0; t < trials; ++t) {
+    Stopwatch watch;
+    for (int r = 0; r < reps; ++r) {
+      op();
+    }
+    best = std::min(best, watch.seconds() / reps);
+  }
+  return best;
+}
+
+struct TierRow {
+  qsim::Isa isa = qsim::Isa::kScalar;
+  double reflect_seconds = 0.0;
+  double block_reflect_seconds = 0.0;
+  double grover_seconds = -1.0;  ///< < 0: skipped (--quick)
+};
 
 }  // namespace
 
@@ -129,6 +157,81 @@ int main(int argc, char** argv) {
   }
   kernels_json << "]";
   std::cout << kernel_table.render() << "\n";
+
+  // -- section 1b: SoA kernel tiers (dense_simd) ----------------------------
+  // The same binary carries every compiled tier; force each supported one in
+  // turn and measure the two reflection work-horses plus an end-to-end
+  // Grover loop. Scalar goes first so the speedup baseline exists.
+  const unsigned simd_n = quick ? 18u : 22u;
+  const unsigned simd_grover_n = 24u;
+  const int simd_grover_iters = 100;
+  std::vector<TierRow> tier_rows;
+  for (const qsim::Isa isa : qsim::supported_isas()) {
+    qsim::force_isa(isa);
+    TierRow row;
+    row.isa = isa;
+    {
+      auto sv = qsim::StateVector::uniform(simd_n);
+      sv.phase_flip(1);  // non-uniform, like the real loop
+      row.reflect_seconds = best_seconds_per_op(
+          5, 10, [&] { sv.reflect_about_uniform(); });
+      row.block_reflect_seconds = best_seconds_per_op(
+          5, 10, [&] { sv.reflect_blocks_about_uniform(2); });
+    }
+    if (!quick) {
+      auto sv = qsim::StateVector::uniform(simd_grover_n);
+      Stopwatch watch;
+      for (int i = 0; i < simd_grover_iters; ++i) {
+        sv.phase_flip(12345);
+        sv.reflect_about_uniform();
+      }
+      row.grover_seconds = watch.seconds();
+    }
+    tier_rows.push_back(row);
+  }
+  qsim::force_isa(std::nullopt);
+
+  const TierRow& scalar_row = tier_rows.front();
+  Table simd_table({"tier", "reflect s/op", "speedup", "block reflect s/op",
+                    "speedup", "grover n=24 s", "speedup"});
+  std::ostringstream simd_json;
+  simd_json << "{\"isa\": \"" << qsim::isa_name(qsim::active_isa())
+            << "\", \"n\": " << simd_n << ", \"grover_n\": " << simd_grover_n
+            << ", \"grover_iterations\": " << simd_grover_iters
+            << ", \"tiers\": [";
+  for (std::size_t i = 0; i < tier_rows.size(); ++i) {
+    const TierRow& row = tier_rows[i];
+    const double reflect_speedup =
+        scalar_row.reflect_seconds / std::max(row.reflect_seconds, 1e-12);
+    const double block_speedup = scalar_row.block_reflect_seconds /
+                                 std::max(row.block_reflect_seconds, 1e-12);
+    const double grover_speedup =
+        row.grover_seconds < 0
+            ? -1.0
+            : scalar_row.grover_seconds / std::max(row.grover_seconds, 1e-12);
+    simd_table.add_row(
+        {std::string(qsim::isa_name(row.isa)),
+         Table::num(row.reflect_seconds, 8), Table::num(reflect_speedup, 2),
+         Table::num(row.block_reflect_seconds, 8),
+         Table::num(block_speedup, 2),
+         row.grover_seconds < 0 ? "-" : Table::num(row.grover_seconds, 4),
+         grover_speedup < 0 ? "-" : Table::num(grover_speedup, 2)});
+    if (i > 0) {
+      simd_json << ",";
+    }
+    simd_json << "{\"isa\":\"" << qsim::isa_name(row.isa)
+              << "\",\"reflect_seconds\":" << json_num(row.reflect_seconds)
+              << ",\"reflect_speedup\":" << json_num(reflect_speedup)
+              << ",\"block_reflect_seconds\":"
+              << json_num(row.block_reflect_seconds)
+              << ",\"block_reflect_speedup\":" << json_num(block_speedup)
+              << ",\"grover_seconds\":" << json_num(row.grover_seconds)
+              << ",\"grover_speedup\":" << json_num(grover_speedup) << "}";
+  }
+  simd_json << "]}";
+  std::cout << "dense_simd (SoA kernels, n=" << simd_n
+            << ", auto tier = " << qsim::isa_name(qsim::active_isa())
+            << ")\n" << simd_table.render() << "\n";
 
   // -- section 2: dense vs symmetry full GRK runs ---------------------------
   std::vector<BackendRow> rows;
@@ -316,7 +419,9 @@ int main(int argc, char** argv) {
   // -- JSON ----------------------------------------------------------------
   std::ofstream json(json_path);
   json << "{\n  \"bench\": \"qsim\",\n"
+       << "  \"isa\": \"" << qsim::isa_name(qsim::active_isa()) << "\",\n"
        << "  \"kernels\": " << kernels_json.str() << ",\n"
+       << "  \"dense_simd\": " << simd_json.str() << ",\n"
        << "  \"grk_backends\": " << backends_json.str() << ",\n"
        << "  \"multi_shot\": {\"backend\": \"" << to_string(shot_backend)
        << "\", \"n\": " << shot_n << ", \"shots\": " << shots

@@ -22,8 +22,7 @@ void amplification_step(qsim::StateVector& state, const Preparation& prep,
   prep.apply_inverse(state);                // A^{-1}
   state.phase_flip(0);                      // S0 = I - 2|0><0|
   prep.apply(state);                        // A
-  qsim::kernels::scale(state.amplitudes(),  // overall -1 of Q
-                       qsim::Amplitude{-1.0, 0.0});
+  state.scale(qsim::Amplitude{-1.0, 0.0});  // overall -1 of Q
 }
 
 qsim::StateVector amplify(unsigned n_qubits, const Preparation& prep,

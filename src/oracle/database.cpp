@@ -41,8 +41,10 @@ void Database::apply_bit_oracle(qsim::StateVector& state_with_ancilla) const {
   ++queries_;
   // T_f swaps |t>|0> <-> |t>|1>. The ancilla is the top qubit, so the two
   // components of the target address sit at t and t + N.
-  auto amps = state_with_ancilla.amplitudes();
-  std::swap(amps[target_], amps[target_ + size_]);
+  const qsim::Amplitude a0 = state_with_ancilla.amplitude(target_);
+  const qsim::Amplitude a1 = state_with_ancilla.amplitude(target_ + size_);
+  state_with_ancilla.set_amplitude(target_, a1);
+  state_with_ancilla.set_amplitude(target_ + size_, a0);
 }
 
 qsim::OracleView Database::view() const {

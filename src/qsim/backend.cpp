@@ -90,16 +90,17 @@ bool symmetry_supports(const BackendSpec& spec) {
 // DenseBackend
 // ---------------------------------------------------------------------------
 
-/// The exact engine: a flat amplitude array driven by qsim/kernels. This is
-/// byte-for-byte the arithmetic the pre-backend code paths performed through
-/// StateVector, so seeded runs reproduce historical results exactly.
+/// The exact engine: SoA amplitude planes (qsim/soa.h) driven by the
+/// ISA-dispatched SoA kernels. The arithmetic per element matches what the
+/// pre-backend code paths performed through StateVector, so seeded runs
+/// reproduce historical results to the dense≡symmetry agreement bar.
 class DenseBackend final : public Backend {
  public:
   explicit DenseBackend(BackendSpec spec) : Backend(std::move(spec)) {
     PQS_CHECK_MSG(spec_.n_items <= kMaxDenseItems,
                   "database too large for the dense backend; use the "
                   "symmetry backend");
-    amps_.resize(spec_.n_items);
+    amps_ = SoaVector(spec_.n_items);
     reset_uniform();
   }
 
@@ -108,7 +109,7 @@ class DenseBackend final : public Backend {
   void reset_uniform() override {
     const double amp =
         1.0 / std::sqrt(static_cast<double>(spec_.n_items));
-    std::fill(amps_.begin(), amps_.end(), Amplitude{amp, 0.0});
+    amps_.fill(Amplitude{amp, 0.0});
   }
 
   void apply_oracle() override {
@@ -168,20 +169,19 @@ class DenseBackend final : public Backend {
 
   double probability(Index x) const override {
     PQS_CHECK_MSG(x < amps_.size(), "index out of range");
-    return std::norm(amps_[x]);
+    return std::norm(amps_.get(x));
   }
   double marked_probability() const override {
     double p = 0.0;
     for (const Index m : spec_.marked) {
-      p += std::norm(amps_[m]);
+      p += std::norm(amps_.get(m));
     }
     return p;
   }
   double block_probability(Index block) const override {
     PQS_CHECK_MSG(block < num_blocks(), "block index out of range");
     const std::size_t lo = static_cast<std::size_t>(block) * block_size();
-    return kernels::norm_squared_pairwise(
-        std::span<const Amplitude>(amps_).subspan(lo, block_size()));
+    return kernels::norm_squared_range(amps_, lo, block_size());
   }
   std::vector<double> block_distribution() const override {
     std::vector<double> dist(num_blocks());
@@ -191,14 +191,17 @@ class DenseBackend final : public Backend {
     return dist;
   }
   double norm_squared() const override {
-    return kernels::norm_squared_pairwise(amps_);
+    return kernels::norm_squared(amps_);
   }
 
   Index sample(Rng& rng) const override {
-    // The same CDF walk as StateVector::sample, for seeded reproducibility.
+    // The same CDF walk (and the same re^2 + im^2 per-element arithmetic as
+    // std::norm) as StateVector::sample, for seeded reproducibility.
+    const double* re = amps_.re();
+    const double* im = amps_.im();
     double u = rng.uniform01() * norm_squared();
     for (std::size_t i = 0; i < amps_.size(); ++i) {
-      u -= std::norm(amps_[i]);
+      u -= re[i] * re[i] + im[i] * im[i];
       if (u <= 0.0) {
         return static_cast<Index>(i);
       }
@@ -209,9 +212,9 @@ class DenseBackend final : public Backend {
     return block_of(sample(rng));
   }
 
-  std::vector<Amplitude> amplitudes_copy() const override { return amps_; }
-
-  std::span<const Amplitude> amplitudes() const { return amps_; }
+  std::vector<Amplitude> amplitudes_copy() const override {
+    return amps_.to_amplitudes();
+  }
 
  private:
   unsigned qubits() const {
@@ -220,7 +223,7 @@ class DenseBackend final : public Backend {
     return log2_exact(spec_.n_items);
   }
 
-  std::vector<Amplitude> amps_;
+  SoaVector amps_;
 };
 
 // ---------------------------------------------------------------------------

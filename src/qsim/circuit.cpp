@@ -153,9 +153,9 @@ struct ApplyVisitor {
       return;
     }
     if (!oracle.marked_list.empty()) {
-      kernels::phase_flip_indices(state.amplitudes(), oracle.marked_list);
+      state.phase_flip_indices(oracle.marked_list);
     } else {
-      kernels::phase_flip_if(state.amplitudes(), oracle.marked);
+      state.phase_flip_if(oracle.marked);
     }
   }
   void operator()(const OraclePhaseOp& op) const {
@@ -163,15 +163,14 @@ struct ApplyVisitor {
       return;
     }
     if (!oracle.marked_list.empty()) {
-      kernels::phase_rotate_indices(state.amplitudes(), oracle.marked_list,
-                                    op.phi);
+      state.phase_rotate_indices(oracle.marked_list, op.phi);
       return;
     }
     const Amplitude factor = std::polar(1.0, op.phi);
-    auto amps = state.amplitudes();
-    for (std::size_t i = 0; i < amps.size(); ++i) {
+    for (std::size_t i = 0; i < state.dimension(); ++i) {
       if (oracle.marked(static_cast<Index>(i))) {
-        amps[i] *= factor;
+        state.set_amplitude(static_cast<Index>(i),
+                            factor * state.amplitude(static_cast<Index>(i)));
       }
     }
   }
@@ -186,11 +185,9 @@ struct ApplyVisitor {
   }
   void operator()(const PhaseFlipKnownOp& op) const { state.phase_flip(op.x); }
   void operator()(const MczOp& op) const {
-    kernels::phase_flip_mask_all_ones(state.amplitudes(), op.mask);
+    state.phase_flip_mask_all_ones(op.mask);
   }
-  void operator()(const GlobalPhaseOp& op) const {
-    kernels::scale(state.amplitudes(), op.phase);
-  }
+  void operator()(const GlobalPhaseOp& op) const { state.scale(op.phase); }
   void operator()(const NonTargetMeanOp&) const {
     if (oracle_as_identity) {
       return;

@@ -16,14 +16,14 @@ void apply_global_diffusion_gate_level(StateVector& state) {
   for (unsigned q = 0; q < n; ++q) {
     state.apply_gate1(q, x);
   }
-  kernels::phase_flip_mask_all_ones(state.amplitudes(), pow2(n) - 1);
+  state.phase_flip_mask_all_ones(pow2(n) - 1);
   for (unsigned q = 0; q < n; ++q) {
     state.apply_gate1(q, x);
   }
   for (unsigned q = 0; q < n; ++q) {
     state.apply_gate1(q, h);
   }
-  kernels::scale(state.amplitudes(), Amplitude{-1.0, 0.0});
+  state.scale(Amplitude{-1.0, 0.0});
 }
 
 void apply_block_diffusion_gate_level(StateVector& state, unsigned k) {
@@ -38,14 +38,14 @@ void apply_block_diffusion_gate_level(StateVector& state, unsigned k) {
   for (unsigned q = 0; q < low; ++q) {
     state.apply_gate1(q, x);
   }
-  kernels::phase_flip_mask_all_ones(state.amplitudes(), pow2(low) - 1);
+  state.phase_flip_mask_all_ones(pow2(low) - 1);
   for (unsigned q = 0; q < low; ++q) {
     state.apply_gate1(q, x);
   }
   for (unsigned q = 0; q < low; ++q) {
     state.apply_gate1(q, h);
   }
-  kernels::scale(state.amplitudes(), Amplitude{-1.0, 0.0});
+  state.scale(Amplitude{-1.0, 0.0});
 }
 
 std::vector<Amplitude> global_diffusion_matrix(unsigned n_qubits) {
@@ -82,18 +82,31 @@ void apply_dense_matrix(StateVector& state,
                         const std::vector<Amplitude>& matrix) {
   const std::size_t dim = state.dimension();
   PQS_CHECK_MSG(matrix.size() == dim * dim, "matrix size mismatch");
-  std::vector<Amplitude> out(dim, Amplitude{0.0, 0.0});
-  auto amps = state.amplitudes();
-  for (std::size_t r = 0; r < dim; ++r) {
+  // This is the reference path the kernel-equivalence tests lean on, and
+  // they apply thousands of test-sized matrices: reuse one scratch buffer
+  // across calls instead of allocating per call, and let the O(dim^2) row
+  // loop fan out over threads (rows are independent).
+  static thread_local std::vector<Amplitude> scratch;
+  scratch.resize(dim);
+  const std::span<const double> re = state.re();
+  const std::span<const double> im = state.im();
+  const auto rows = static_cast<std::int64_t>(dim);
+#ifdef PQS_HAVE_OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const Amplitude* row = matrix.data() + static_cast<std::size_t>(r) * dim;
     Amplitude sum{0.0, 0.0};
     for (std::size_t c = 0; c < dim; ++c) {
-      sum += matrix[r * dim + c] * amps[c];
+      sum += row[c] * Amplitude{re[c], im[c]};
     }
-    out[r] = sum;
+    scratch[static_cast<std::size_t>(r)] = sum;
   }
+  SoaVector& soa = state.soa();
   for (std::size_t i = 0; i < dim; ++i) {
-    amps[i] = out[i];
+    soa.set(i, scratch[i]);
   }
+  soa.invalidate_sums();
 }
 
 }  // namespace pqs::qsim

@@ -11,6 +11,7 @@
 #include <span>
 
 #include "qsim/gates.h"
+#include "qsim/soa.h"
 #include "qsim/types.h"
 
 namespace pqs::qsim::kernels {
@@ -114,5 +115,71 @@ double norm_squared(std::span<const Amplitude> state);
 
 /// Multiply every amplitude by s.
 void scale(std::span<Amplitude> state, Amplitude s);
+
+// ---------------------------------------------------------------------------
+// SoA kernels (ISA-dispatched) — the production path.
+//
+// These mirror the span kernels above on SoaVector's separated re/im planes
+// and are what StateVector and DenseBackend actually run. Each O(N) loop
+// dispatches through the active ISA tier (qsim/isa.h: scalar, AVX2+FMA,
+// AVX-512F) and the reflection/rotation kernels maintain SoaVector's
+// block-sum cache so back-to-back same-partition reflections skip their sum
+// pass (one memory sweep per kernel instead of two). The span kernels above
+// remain the scalar reference implementations the equivalence tests compare
+// against — keep both in sync when changing semantics.
+//
+// All block means and reductions use deterministic fixed-chunk pairwise
+// summation (chunk partials combined pairwise), so results are independent
+// of the OpenMP thread count and match the span kernels' recursive pairwise
+// sums to well under the 1e-10 dense≡symmetry agreement bar.
+// ---------------------------------------------------------------------------
+
+void apply_gate1(SoaVector& v, unsigned n_qubits, unsigned q, const Gate2& g);
+void apply_controlled_gate1(SoaVector& v, unsigned n_qubits,
+                            std::uint64_t control_mask, unsigned q,
+                            const Gate2& g);
+void phase_flip_index(SoaVector& v, Index t);
+void phase_rotate_index(SoaVector& v, Index t, double phi);
+void phase_flip_indices(SoaVector& v, std::span<const Index> marked_sorted);
+void phase_rotate_indices(SoaVector& v, std::span<const Index> marked_sorted,
+                          double phi);
+void phase_flip_mask_all_ones(SoaVector& v, std::uint64_t mask);
+
+/// Predicate-driven sign flip; the predicate inlines into the O(N) loop.
+template <typename Pred>
+void phase_flip_if(SoaVector& v, Pred&& predicate) {
+  double* re = v.re();
+  double* im = v.im();
+  const auto n = static_cast<std::int64_t>(v.size());
+#ifdef PQS_HAVE_OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (predicate(static_cast<Index>(i))) {
+      const auto idx = static_cast<std::size_t>(i);
+      re[idx] = -re[idx];
+      im[idx] = -im[idx];
+    }
+  }
+  v.invalidate_sums();
+}
+
+void reflect_about_uniform(SoaVector& v);
+void reflect_blocks_about_uniform(SoaVector& v, std::size_t block_size);
+void rotate_blocks_about_uniform(SoaVector& v, std::size_t block_size,
+                                 double phi);
+void reflect_non_target_about_their_mean(SoaVector& v, Index t);
+void reflect_unmarked_about_their_mean(SoaVector& v,
+                                       std::span<const Index> marked_sorted);
+
+/// Deterministic chunked-pairwise sum of all amplitudes. Uses the block-sum
+/// cache when it is valid (summing K cached block sums instead of N values).
+Amplitude sum_all(const SoaVector& v);
+/// sum |a_x|^2 over [lo, lo + len) / over the whole vector.
+double norm_squared_range(const SoaVector& v, std::size_t lo,
+                          std::size_t len);
+double norm_squared(const SoaVector& v);
+Amplitude inner_product(const SoaVector& a, const SoaVector& b);
+void scale(SoaVector& v, Amplitude s);
 
 }  // namespace pqs::qsim::kernels

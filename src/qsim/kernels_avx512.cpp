@@ -1,0 +1,261 @@
+// AVX-512F tier of the SoA segment primitives (qsim/kernels_ops.h).
+//
+// Compiled with -mavx512f (per-file flag in CMakeLists.txt); without the
+// flag the __AVX512F__ guard degrades this TU to the scalar table. Same
+// shape notes as the AVX2 tier apply: ~1KB software prefetch, fused-sum
+// accumulation on the store passes, and NO non-temporal stores (they
+// regressed when measured).
+#include "qsim/kernels_ops.h"
+
+#if defined(__AVX512F__)
+
+#include <immintrin.h>
+
+#include <cstddef>
+
+namespace pqs::qsim::kernels {
+
+namespace {
+
+/// Prefetch distance in bytes (per plane).
+constexpr int kPf = 1024;
+
+inline void prefetch2(const double* re, const double* im, std::size_t i) {
+  _mm_prefetch(reinterpret_cast<const char*>(re + i) + kPf, _MM_HINT_T0);
+  _mm_prefetch(reinterpret_cast<const char*>(im + i) + kPf, _MM_HINT_T0);
+}
+
+void avx512_sum(const double* re, const double* im, std::size_t n,
+                double* sum_re, double* sum_im) {
+  __m512d a0 = _mm512_setzero_pd(), a1 = _mm512_setzero_pd();
+  __m512d b0 = _mm512_setzero_pd(), b1 = _mm512_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    prefetch2(re, im, i);
+    a0 = _mm512_add_pd(a0, _mm512_loadu_pd(re + i));
+    a1 = _mm512_add_pd(a1, _mm512_loadu_pd(re + i + 8));
+    b0 = _mm512_add_pd(b0, _mm512_loadu_pd(im + i));
+    b1 = _mm512_add_pd(b1, _mm512_loadu_pd(im + i + 8));
+  }
+  double sr = _mm512_reduce_add_pd(_mm512_add_pd(a0, a1));
+  double si = _mm512_reduce_add_pd(_mm512_add_pd(b0, b1));
+  for (; i < n; ++i) {
+    sr += re[i];
+    si += im[i];
+  }
+  *sum_re = sr;
+  *sum_im = si;
+}
+
+double avx512_norm_sq(const double* re, const double* im, std::size_t n) {
+  __m512d a0 = _mm512_setzero_pd(), a1 = _mm512_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    prefetch2(re, im, i);
+    const __m512d r0 = _mm512_loadu_pd(re + i);
+    const __m512d r1 = _mm512_loadu_pd(re + i + 8);
+    const __m512d s0 = _mm512_loadu_pd(im + i);
+    const __m512d s1 = _mm512_loadu_pd(im + i + 8);
+    a0 = _mm512_fmadd_pd(r0, r0, a0);
+    a1 = _mm512_fmadd_pd(r1, r1, a1);
+    a0 = _mm512_fmadd_pd(s0, s0, a0);
+    a1 = _mm512_fmadd_pd(s1, s1, a1);
+  }
+  double s = _mm512_reduce_add_pd(_mm512_add_pd(a0, a1));
+  for (; i < n; ++i) {
+    s += re[i] * re[i] + im[i] * im[i];
+  }
+  return s;
+}
+
+void avx512_inner(const double* a_re, const double* a_im, const double* b_re,
+                  const double* b_im, std::size_t n, double* sum_re,
+                  double* sum_im) {
+  __m512d acc_r = _mm512_setzero_pd();
+  __m512d acc_i = _mm512_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512d ar = _mm512_loadu_pd(a_re + i);
+    const __m512d ai = _mm512_loadu_pd(a_im + i);
+    const __m512d br = _mm512_loadu_pd(b_re + i);
+    const __m512d bi = _mm512_loadu_pd(b_im + i);
+    acc_r = _mm512_fmadd_pd(ar, br, acc_r);
+    acc_r = _mm512_fmadd_pd(ai, bi, acc_r);
+    acc_i = _mm512_fmadd_pd(ar, bi, acc_i);
+    acc_i = _mm512_fnmadd_pd(ai, br, acc_i);
+  }
+  double sr = _mm512_reduce_add_pd(acc_r);
+  double si = _mm512_reduce_add_pd(acc_i);
+  for (; i < n; ++i) {
+    sr += a_re[i] * b_re[i] + a_im[i] * b_im[i];
+    si += a_re[i] * b_im[i] - a_im[i] * b_re[i];
+  }
+  *sum_re = sr;
+  *sum_im = si;
+}
+
+void avx512_reflect(double* re, double* im, std::size_t n, double t_re,
+                    double t_im, double* sum_re, double* sum_im) {
+  const __m512d tr = _mm512_set1_pd(t_re);
+  const __m512d ti = _mm512_set1_pd(t_im);
+  __m512d a0 = _mm512_setzero_pd(), a1 = _mm512_setzero_pd();
+  __m512d b0 = _mm512_setzero_pd(), b1 = _mm512_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    prefetch2(re, im, i);
+    const __m512d r0 = _mm512_sub_pd(tr, _mm512_loadu_pd(re + i));
+    const __m512d r1 = _mm512_sub_pd(tr, _mm512_loadu_pd(re + i + 8));
+    const __m512d s0 = _mm512_sub_pd(ti, _mm512_loadu_pd(im + i));
+    const __m512d s1 = _mm512_sub_pd(ti, _mm512_loadu_pd(im + i + 8));
+    _mm512_storeu_pd(re + i, r0);
+    _mm512_storeu_pd(re + i + 8, r1);
+    _mm512_storeu_pd(im + i, s0);
+    _mm512_storeu_pd(im + i + 8, s1);
+    a0 = _mm512_add_pd(a0, r0);
+    a1 = _mm512_add_pd(a1, r1);
+    b0 = _mm512_add_pd(b0, s0);
+    b1 = _mm512_add_pd(b1, s1);
+  }
+  double sr = _mm512_reduce_add_pd(_mm512_add_pd(a0, a1));
+  double si = _mm512_reduce_add_pd(_mm512_add_pd(b0, b1));
+  for (; i < n; ++i) {
+    const double r = t_re - re[i];
+    const double s = t_im - im[i];
+    re[i] = r;
+    im[i] = s;
+    sr += r;
+    si += s;
+  }
+  *sum_re = sr;
+  *sum_im = si;
+}
+
+void avx512_add(double* re, double* im, std::size_t n, double c_re,
+                double c_im, double* sum_re, double* sum_im) {
+  const __m512d cr = _mm512_set1_pd(c_re);
+  const __m512d ci = _mm512_set1_pd(c_im);
+  __m512d a0 = _mm512_setzero_pd(), a1 = _mm512_setzero_pd();
+  __m512d b0 = _mm512_setzero_pd(), b1 = _mm512_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    prefetch2(re, im, i);
+    const __m512d r0 = _mm512_add_pd(cr, _mm512_loadu_pd(re + i));
+    const __m512d r1 = _mm512_add_pd(cr, _mm512_loadu_pd(re + i + 8));
+    const __m512d s0 = _mm512_add_pd(ci, _mm512_loadu_pd(im + i));
+    const __m512d s1 = _mm512_add_pd(ci, _mm512_loadu_pd(im + i + 8));
+    _mm512_storeu_pd(re + i, r0);
+    _mm512_storeu_pd(re + i + 8, r1);
+    _mm512_storeu_pd(im + i, s0);
+    _mm512_storeu_pd(im + i + 8, s1);
+    a0 = _mm512_add_pd(a0, r0);
+    a1 = _mm512_add_pd(a1, r1);
+    b0 = _mm512_add_pd(b0, s0);
+    b1 = _mm512_add_pd(b1, s1);
+  }
+  double sr = _mm512_reduce_add_pd(_mm512_add_pd(a0, a1));
+  double si = _mm512_reduce_add_pd(_mm512_add_pd(b0, b1));
+  for (; i < n; ++i) {
+    const double r = re[i] + c_re;
+    const double s = im[i] + c_im;
+    re[i] = r;
+    im[i] = s;
+    sr += r;
+    si += s;
+  }
+  *sum_re = sr;
+  *sum_im = si;
+}
+
+void avx512_scale(double* re, double* im, std::size_t n, double s_re,
+                  double s_im) {
+  const __m512d vr = _mm512_set1_pd(s_re);
+  const __m512d vi = _mm512_set1_pd(s_im);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    prefetch2(re, im, i);
+    const __m512d r = _mm512_loadu_pd(re + i);
+    const __m512d s = _mm512_loadu_pd(im + i);
+    _mm512_storeu_pd(re + i, _mm512_fmsub_pd(vr, r, _mm512_mul_pd(vi, s)));
+    _mm512_storeu_pd(im + i, _mm512_fmadd_pd(vr, s, _mm512_mul_pd(vi, r)));
+  }
+  for (; i < n; ++i) {
+    const double r = re[i];
+    const double s = im[i];
+    re[i] = s_re * r - s_im * s;
+    im[i] = s_re * s + s_im * r;
+  }
+}
+
+void avx512_gate1(double* re0, double* im0, double* re1, double* im1,
+                  std::size_t n, const double m[8]) {
+  const __m512d m00r = _mm512_set1_pd(m[0]), m00i = _mm512_set1_pd(m[1]);
+  const __m512d m01r = _mm512_set1_pd(m[2]), m01i = _mm512_set1_pd(m[3]);
+  const __m512d m10r = _mm512_set1_pd(m[4]), m10i = _mm512_set1_pd(m[5]);
+  const __m512d m11r = _mm512_set1_pd(m[6]), m11i = _mm512_set1_pd(m[7]);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512d a0r = _mm512_loadu_pd(re0 + i);
+    const __m512d a0i = _mm512_loadu_pd(im0 + i);
+    const __m512d a1r = _mm512_loadu_pd(re1 + i);
+    const __m512d a1i = _mm512_loadu_pd(im1 + i);
+    __m512d r = _mm512_mul_pd(m00r, a0r);
+    r = _mm512_fnmadd_pd(m00i, a0i, r);
+    r = _mm512_fmadd_pd(m01r, a1r, r);
+    r = _mm512_fnmadd_pd(m01i, a1i, r);
+    __m512d s = _mm512_mul_pd(m00r, a0i);
+    s = _mm512_fmadd_pd(m00i, a0r, s);
+    s = _mm512_fmadd_pd(m01r, a1i, s);
+    s = _mm512_fmadd_pd(m01i, a1r, s);
+    _mm512_storeu_pd(re0 + i, r);
+    _mm512_storeu_pd(im0 + i, s);
+    r = _mm512_mul_pd(m10r, a0r);
+    r = _mm512_fnmadd_pd(m10i, a0i, r);
+    r = _mm512_fmadd_pd(m11r, a1r, r);
+    r = _mm512_fnmadd_pd(m11i, a1i, r);
+    s = _mm512_mul_pd(m10r, a0i);
+    s = _mm512_fmadd_pd(m10i, a0r, s);
+    s = _mm512_fmadd_pd(m11r, a1i, s);
+    s = _mm512_fmadd_pd(m11i, a1r, s);
+    _mm512_storeu_pd(re1 + i, r);
+    _mm512_storeu_pd(im1 + i, s);
+  }
+  for (; i < n; ++i) {
+    const double a0r = re0[i], a0i = im0[i];
+    const double a1r = re1[i], a1i = im1[i];
+    re0[i] = m[0] * a0r - m[1] * a0i + m[2] * a1r - m[3] * a1i;
+    im0[i] = m[0] * a0i + m[1] * a0r + m[2] * a1i + m[3] * a1r;
+    re1[i] = m[4] * a0r - m[5] * a0i + m[6] * a1r - m[7] * a1i;
+    im1[i] = m[4] * a0i + m[5] * a0r + m[6] * a1i + m[7] * a1r;
+  }
+}
+
+}  // namespace
+
+const KernelOps& avx512_kernel_ops() {
+  static const KernelOps ops{
+      .sum = avx512_sum,
+      .norm_sq = avx512_norm_sq,
+      .inner = avx512_inner,
+      .reflect = avx512_reflect,
+      .add = avx512_add,
+      .scale = avx512_scale,
+      .gate1 = avx512_gate1,
+  };
+  return ops;
+}
+
+bool avx512_kernels_compiled() { return true; }
+
+}  // namespace pqs::qsim::kernels
+
+#else  // !__AVX512F__: degrade to the scalar table.
+
+namespace pqs::qsim::kernels {
+
+const KernelOps& avx512_kernel_ops() { return scalar_kernel_ops(); }
+
+bool avx512_kernels_compiled() { return false; }
+
+}  // namespace pqs::qsim::kernels
+
+#endif

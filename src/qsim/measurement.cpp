@@ -9,12 +9,9 @@ namespace pqs::qsim {
 
 Index measure_all(StateVector& state, Rng& rng) {
   const Index outcome = state.sample(rng);
-  auto amps = state.amplitudes();
-  for (std::size_t i = 0; i < amps.size(); ++i) {
-    if (static_cast<Index>(i) != outcome) {
-      amps[i] = Amplitude{0.0, 0.0};
-    }
-  }
+  const Amplitude kept = state.amplitude(outcome);
+  state.soa().fill(Amplitude{0.0, 0.0});  // collapse: zero everything...
+  state.set_amplitude(outcome, kept);     // ...except the observed state
   state.normalize();
   return outcome;
 }
@@ -22,14 +19,15 @@ Index measure_all(StateVector& state, Rng& rng) {
 Index measure_block(StateVector& state, unsigned k, Rng& rng) {
   PQS_CHECK_MSG(k >= 1 && k <= state.num_qubits(), "invalid block bit count");
   const Index block = state.sample_block(k, rng);
-  auto amps = state.amplitudes();
-  const std::size_t block_size = amps.size() >> k;
+  SoaVector& soa = state.soa();
+  const std::size_t block_size = soa.size() >> k;
   const std::size_t lo = static_cast<std::size_t>(block) * block_size;
-  for (std::size_t i = 0; i < amps.size(); ++i) {
+  for (std::size_t i = 0; i < soa.size(); ++i) {
     if (i < lo || i >= lo + block_size) {
-      amps[i] = Amplitude{0.0, 0.0};
+      soa.set(i, Amplitude{0.0, 0.0});
     }
   }
+  soa.invalidate_sums();
   state.normalize();
   return block;
 }

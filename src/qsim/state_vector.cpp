@@ -7,6 +7,7 @@
 #include "common/check.h"
 #include "common/math.h"
 #include "common/stats.h"
+#include "qsim/gates2.h"
 #include "qsim/kernels.h"
 
 namespace pqs::qsim {
@@ -14,8 +15,8 @@ namespace pqs::qsim {
 StateVector::StateVector(unsigned n_qubits) : n_qubits_(n_qubits) {
   PQS_CHECK_MSG(n_qubits >= 1 && n_qubits <= kMaxQubits,
                 "qubit count out of supported range");
-  amps_.assign(pow2(n_qubits), Amplitude{0.0, 0.0});
-  amps_[0] = Amplitude{1.0, 0.0};
+  soa_ = SoaVector(pow2(n_qubits));
+  soa_.set(0, Amplitude{1.0, 0.0});
 }
 
 StateVector StateVector::zero_state(unsigned n_qubits) {
@@ -25,53 +26,57 @@ StateVector StateVector::zero_state(unsigned n_qubits) {
 StateVector StateVector::uniform(unsigned n_qubits) {
   StateVector sv(n_qubits);
   const double amp = 1.0 / std::sqrt(static_cast<double>(sv.dimension()));
-  std::fill(sv.amps_.begin(), sv.amps_.end(), Amplitude{amp, 0.0});
+  sv.soa_.fill(Amplitude{amp, 0.0});
   return sv;
 }
 
 StateVector StateVector::basis(unsigned n_qubits, Index x) {
   StateVector sv(n_qubits);
   PQS_CHECK_MSG(x < sv.dimension(), "basis index out of range");
-  sv.amps_[0] = Amplitude{0.0, 0.0};
-  sv.amps_[x] = Amplitude{1.0, 0.0};
+  sv.soa_.set(0, Amplitude{0.0, 0.0});
+  sv.soa_.set(x, Amplitude{1.0, 0.0});
   return sv;
 }
 
 StateVector StateVector::from_amplitudes(std::vector<Amplitude> amps) {
   PQS_CHECK_MSG(is_pow2(amps.size()), "amplitude count must be a power of two");
   StateVector sv(log2_exact(amps.size()));
-  sv.amps_ = std::move(amps);
+  sv.soa_ = SoaVector::from_amplitudes(amps);
   return sv;
 }
 
 Amplitude StateVector::amplitude(Index x) const {
   PQS_CHECK_MSG(x < dimension(), "index out of range");
-  return amps_[x];
+  return soa_.get(x);
 }
 
-double StateVector::norm_squared() const {
-  return kernels::norm_squared(amps_);
+void StateVector::set_amplitude(Index x, Amplitude a) {
+  PQS_CHECK_MSG(x < dimension(), "index out of range");
+  soa_.set(x, a);
+  soa_.invalidate_sums();
 }
+
+double StateVector::norm_squared() const { return kernels::norm_squared(soa_); }
 
 double StateVector::norm() const { return std::sqrt(norm_squared()); }
 
 void StateVector::normalize() {
   const double n = norm();
   PQS_CHECK_MSG(n > 0.0, "cannot normalize the zero vector");
-  kernels::scale(amps_, Amplitude{1.0 / n, 0.0});
+  kernels::scale(soa_, Amplitude{1.0 / n, 0.0});
 }
 
 double StateVector::linf_distance(const StateVector& other) const {
   PQS_CHECK_MSG(dimension() == other.dimension(), "dimension mismatch");
   double d = 0.0;
-  for (std::size_t i = 0; i < amps_.size(); ++i) {
-    d = std::max(d, std::abs(amps_[i] - other.amps_[i]));
+  for (std::size_t i = 0; i < dimension(); ++i) {
+    d = std::max(d, std::abs(soa_.get(i) - other.soa_.get(i)));
   }
   return d;
 }
 
 Amplitude StateVector::inner(const StateVector& other) const {
-  return kernels::inner_product(amps_, other.amps_);
+  return kernels::inner_product(soa_, other.soa_);
 }
 
 double StateVector::fidelity(const StateVector& other) const {
@@ -80,7 +85,7 @@ double StateVector::fidelity(const StateVector& other) const {
 
 double StateVector::probability(Index x) const {
   PQS_CHECK_MSG(x < dimension(), "index out of range");
-  return std::norm(amps_[x]);
+  return std::norm(soa_.get(x));
 }
 
 double StateVector::block_probability(unsigned k, Index block) const {
@@ -88,11 +93,7 @@ double StateVector::block_probability(unsigned k, Index block) const {
   PQS_CHECK_MSG(block < pow2(k), "block index out of range");
   const std::size_t block_size = dimension() >> k;
   const std::size_t lo = static_cast<std::size_t>(block) * block_size;
-  double p = 0.0;
-  for (std::size_t i = lo; i < lo + block_size; ++i) {
-    p += std::norm(amps_[i]);
-  }
-  return p;
+  return kernels::norm_squared_range(soa_, lo, block_size);
 }
 
 std::vector<double> StateVector::block_distribution(unsigned k) const {
@@ -106,54 +107,91 @@ std::vector<double> StateVector::block_distribution(unsigned k) const {
 }
 
 void StateVector::apply_gate1(unsigned q, const Gate2& g) {
-  kernels::apply_gate1(amps_, n_qubits_, q, g);
+  kernels::apply_gate1(soa_, n_qubits_, q, g);
 }
 
 void StateVector::apply_controlled_gate1(std::uint64_t control_mask,
                                          unsigned q, const Gate2& g) {
-  kernels::apply_controlled_gate1(amps_, n_qubits_, control_mask, q, g);
+  kernels::apply_controlled_gate1(soa_, n_qubits_, control_mask, q, g);
+}
+
+void StateVector::apply_gate2(unsigned q_high, unsigned q_low,
+                              const Gate4& g) {
+  // Analysis-grade path (tests, gate-level oracles): materialize, run the
+  // span kernel, convert back. The O(N) copies are noise next to the gate.
+  std::vector<Amplitude> amps = amplitudes_copy();
+  kernels::apply_gate2(amps, n_qubits_, q_high, q_low, g);
+  soa_ = SoaVector::from_amplitudes(amps);
 }
 
 void StateVector::apply_hadamard_all() {
   const Gate2 h = gates::H();
   for (unsigned q = 0; q < n_qubits_; ++q) {
-    kernels::apply_gate1(amps_, n_qubits_, q, h);
+    kernels::apply_gate1(soa_, n_qubits_, q, h);
   }
 }
 
-void StateVector::phase_flip(Index t) { kernels::phase_flip_index(amps_, t); }
-
-void StateVector::phase_rotate(Index t, double phi) {
-  kernels::phase_rotate_index(amps_, t, phi);
+void StateVector::phase_flip(Index t) {
+  PQS_CHECK_MSG(t < dimension(), "target index out of range");
+  kernels::phase_flip_index(soa_, t);
 }
 
+void StateVector::phase_rotate(Index t, double phi) {
+  PQS_CHECK_MSG(t < dimension(), "target index out of range");
+  kernels::phase_rotate_index(soa_, t, phi);
+}
+
+void StateVector::phase_flip_indices(std::span<const Index> marked_sorted) {
+  kernels::phase_flip_indices(soa_, marked_sorted);
+}
+
+void StateVector::phase_rotate_indices(std::span<const Index> marked_sorted,
+                                       double phi) {
+  kernels::phase_rotate_indices(soa_, marked_sorted, phi);
+}
+
+void StateVector::phase_flip_mask_all_ones(std::uint64_t mask) {
+  kernels::phase_flip_mask_all_ones(soa_, mask);
+}
+
+void StateVector::scale(Amplitude s) { kernels::scale(soa_, s); }
+
 void StateVector::reflect_about_uniform() {
-  kernels::reflect_about_uniform(amps_);
+  kernels::reflect_about_uniform(soa_);
 }
 
 void StateVector::reflect_blocks_about_uniform(unsigned k) {
   PQS_CHECK_MSG(k <= n_qubits_, "k exceeds qubit count");
-  kernels::reflect_blocks_about_uniform(amps_, dimension() >> k);
+  kernels::reflect_blocks_about_uniform(soa_, dimension() >> k);
 }
 
 void StateVector::rotate_blocks_about_uniform(unsigned k, double phi) {
   PQS_CHECK_MSG(k <= n_qubits_, "k exceeds qubit count");
-  kernels::rotate_blocks_about_uniform(amps_, dimension() >> k, phi);
+  kernels::rotate_blocks_about_uniform(soa_, dimension() >> k, phi);
 }
 
 void StateVector::reflect_non_target_about_their_mean(Index t) {
-  kernels::reflect_non_target_about_their_mean(amps_, t);
+  kernels::reflect_non_target_about_their_mean(soa_, t);
+}
+
+void StateVector::reflect_unmarked_about_their_mean(
+    std::span<const Index> marked_sorted) {
+  kernels::reflect_unmarked_about_their_mean(soa_, marked_sorted);
 }
 
 Index StateVector::sample(Rng& rng) const {
+  // The same per-element arithmetic std::norm performs on the interleaved
+  // representation, so seeded runs reproduce historical samples exactly.
+  const double* re = soa_.re();
+  const double* im = soa_.im();
   double u = rng.uniform01() * norm_squared();
-  for (std::size_t i = 0; i < amps_.size(); ++i) {
-    u -= std::norm(amps_[i]);
+  for (std::size_t i = 0; i < dimension(); ++i) {
+    u -= re[i] * re[i] + im[i] * im[i];
     if (u <= 0.0) {
       return static_cast<Index>(i);
     }
   }
-  return static_cast<Index>(amps_.size() - 1);
+  return static_cast<Index>(dimension() - 1);
 }
 
 Index StateVector::sample_block(unsigned k, Rng& rng) const {
@@ -164,23 +202,24 @@ std::string StateVector::render_real_amplitudes(unsigned k_blocks,
                                                 std::size_t half_width) const {
   PQS_CHECK_MSG(dimension() <= 64,
                 "render_real_amplitudes is meant for small states");
+  const double* re = soa_.re();
   double max_abs = 1e-12;
-  for (const auto& a : amps_) {
-    max_abs = std::max(max_abs, std::abs(a.real()));
+  for (std::size_t i = 0; i < dimension(); ++i) {
+    max_abs = std::max(max_abs, std::abs(re[i]));
   }
   const std::size_t block_size =
       k_blocks == 0 ? dimension() : (dimension() >> k_blocks);
   std::ostringstream os;
-  for (std::size_t i = 0; i < amps_.size(); ++i) {
+  for (std::size_t i = 0; i < dimension(); ++i) {
     if (k_blocks != 0 && i % block_size == 0) {
       os << "-- block " << i / block_size << " --\n";
     }
     os.setf(std::ios::fixed);
     os.precision(4);
     os.width(3);
-    os << i << "  " << signed_bar(amps_[i].real(), max_abs, half_width) << "  ";
+    os << i << "  " << signed_bar(re[i], max_abs, half_width) << "  ";
     os.width(8);
-    os << amps_[i].real() << '\n';
+    os << re[i] << '\n';
   }
   return os.str();
 }

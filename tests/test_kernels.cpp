@@ -8,6 +8,8 @@
 #include "common/check.h"
 #include "common/math.h"
 #include "common/random.h"
+#include "qsim/isa.h"
+#include "qsim/soa.h"
 
 namespace pqs::qsim {
 namespace {
@@ -302,6 +304,199 @@ TEST(Kernels, ScaleMultipliesEverything) {
   EXPECT_LT(std::abs(amps[0] - Amplitude{0.0, 1.0}), 1e-15);
   EXPECT_LT(std::abs(amps[1] - Amplitude{0.0, 2.0}), 1e-15);
 }
+
+// ---- ISA-parametrized SoA/span equivalence sweep ---------------------------
+//
+// Every SoA kernel must agree with its span reference implementation to
+// 1e-10 on every tier compiled into this binary AND supported by this CPU
+// (qsim/isa.h). The sweep runs on random non-uniform states, non-power-of-
+// two sizes (SIMD tail paths), and n = 1 (N = 2, smaller than one vector
+// register). CI pins PQS_ISA=scalar and PQS_ISA=avx2 jobs so the narrower
+// tiers stay covered even when the runner has wider hardware.
+
+constexpr double kTierTol = 1e-10;
+
+std::vector<Amplitude> random_amps(std::size_t size, Rng& rng) {
+  std::vector<Amplitude> amps(size);
+  for (auto& a : amps) {
+    a = Amplitude{rng.normal(), rng.normal()};
+  }
+  return amps;
+}
+
+void expect_matches(const SoaVector& v, const std::vector<Amplitude>& ref,
+                    double tol = kTierTol) {
+  ASSERT_EQ(v.size(), ref.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    ASSERT_LT(std::abs(v.get(i) - ref[i]), tol) << "at index " << i;
+  }
+}
+
+class IsaSweep : public ::testing::TestWithParam<Isa> {
+ protected:
+  void SetUp() override { force_isa(GetParam()); }
+  void TearDown() override { force_isa(std::nullopt); }
+};
+
+TEST_P(IsaSweep, ForceIsaControlsDispatch) {
+  EXPECT_EQ(active_isa(), GetParam());
+  EXPECT_TRUE(isa_supported(GetParam()));
+}
+
+TEST_P(IsaSweep, ReflectAboutUniformMatchesReferenceOnOddSizes) {
+  Rng rng(101);
+  // 1 and 6 are smaller than a vector register; 1000 and 4100 exercise the
+  // chunked pairwise reduction's tails (kChunk = 4096 inside kernels_soa).
+  for (const std::size_t size : {std::size_t{1}, std::size_t{2},
+                                 std::size_t{6}, std::size_t{1000},
+                                 std::size_t{4100}, std::size_t{8192}}) {
+    auto ref = random_amps(size, rng);
+    SoaVector v = SoaVector::from_amplitudes(ref);
+    kernels::reflect_about_uniform(std::span<Amplitude>(ref));
+    kernels::reflect_about_uniform(v);
+    expect_matches(v, ref);
+  }
+}
+
+TEST_P(IsaSweep, BlockReflectMatchesReference) {
+  Rng rng(103);
+  const std::size_t size = 6000;  // 1000-wide blocks have SIMD tails
+  for (const std::size_t bs : {std::size_t{1}, std::size_t{4},
+                               std::size_t{1000}, std::size_t{6000}}) {
+    auto ref = random_amps(size, rng);
+    SoaVector v = SoaVector::from_amplitudes(ref);
+    kernels::reflect_blocks_about_uniform(std::span<Amplitude>(ref), bs);
+    kernels::reflect_blocks_about_uniform(v, bs);
+    expect_matches(v, ref);
+  }
+}
+
+TEST_P(IsaSweep, RotateBlocksMatchesReference) {
+  Rng rng(107);
+  auto ref = random_amps(6000, rng);
+  SoaVector v = SoaVector::from_amplitudes(ref);
+  kernels::rotate_blocks_about_uniform(std::span<Amplitude>(ref), 1000, 0.77);
+  kernels::rotate_blocks_about_uniform(v, 1000, 0.77);
+  expect_matches(v, ref);
+}
+
+TEST_P(IsaSweep, Gate1MatchesReferenceAcrossStrides) {
+  Rng rng(109);
+  for (unsigned n = 1; n <= 5; ++n) {  // n = 1: N = 2, below register width
+    auto ref = random_amps(pow2(n), rng);
+    SoaVector v = SoaVector::from_amplitudes(ref);
+    for (unsigned q = 0; q < n; ++q) {  // strides 1, 2, 4, ...
+      const Gate2 g = gates::Ry(0.41 * (q + 1));
+      kernels::apply_gate1(std::span<Amplitude>(ref), n, q, g);
+      kernels::apply_gate1(v, n, q, g);
+    }
+    expect_matches(v, ref);
+  }
+}
+
+TEST_P(IsaSweep, ControlledGate1MatchesReference) {
+  Rng rng(113);
+  auto ref = random_amps(16, rng);
+  SoaVector v = SoaVector::from_amplitudes(ref);
+  for (const std::uint64_t mask : {0b0001ULL, 0b1010ULL}) {
+    kernels::apply_controlled_gate1(std::span<Amplitude>(ref), 4, mask, 2,
+                                    gates::H());
+    kernels::apply_controlled_gate1(v, 4, mask, 2, gates::H());
+  }
+  expect_matches(v, ref);
+}
+
+TEST_P(IsaSweep, PhaseKernelsMatchReference) {
+  Rng rng(127);
+  auto ref = random_amps(32, rng);
+  SoaVector v = SoaVector::from_amplitudes(ref);
+  const std::vector<Index> marked{3, 17, 31};
+  kernels::phase_flip_indices(std::span<Amplitude>(ref), marked);
+  kernels::phase_flip_indices(v, marked);
+  kernels::phase_rotate_indices(std::span<Amplitude>(ref), marked, 1.1);
+  kernels::phase_rotate_indices(v, marked, 1.1);
+  kernels::phase_flip_mask_all_ones(std::span<Amplitude>(ref), 0b10100);
+  kernels::phase_flip_mask_all_ones(v, 0b10100);
+  const auto pred = [](Index x) { return x % 5 == 2; };
+  kernels::phase_flip_if(std::span<Amplitude>(ref), pred);
+  kernels::phase_flip_if(v, pred);
+  kernels::scale(std::span<Amplitude>(ref), Amplitude{0.6, -0.8});
+  kernels::scale(v, Amplitude{0.6, -0.8});
+  expect_matches(v, ref);
+}
+
+TEST_P(IsaSweep, FusedSumCacheSurvivesOracleInterleaving) {
+  // The Grover inner loop: oracle phase flips (incremental O(1) cache
+  // deltas) interleaved with block reflections (cache read + refresh).
+  // Any cache-maintenance bug compounds over iterations, so compare
+  // against the span reference after every step for many iterations.
+  Rng rng(131);
+  const std::size_t size = 2048;
+  auto ref = random_amps(size, rng);
+  SoaVector v = SoaVector::from_amplitudes(ref);
+  const std::vector<Index> marked{5, 700, 1500};
+  for (int iter = 0; iter < 50; ++iter) {
+    kernels::phase_flip_indices(std::span<Amplitude>(ref), marked);
+    kernels::phase_flip_indices(v, marked);
+    kernels::reflect_blocks_about_uniform(std::span<Amplitude>(ref), 256);
+    kernels::reflect_blocks_about_uniform(v, 256);
+    ASSERT_NO_FATAL_FAILURE(expect_matches(v, ref)) << "iteration " << iter;
+  }
+  // Switch partitions mid-run (cache must not leak across block sizes),
+  // then hammer the generalized-phase pair.
+  for (int iter = 0; iter < 20; ++iter) {
+    kernels::phase_rotate_indices(std::span<Amplitude>(ref), marked, 0.3);
+    kernels::phase_rotate_indices(v, marked, 0.3);
+    kernels::reflect_about_uniform(std::span<Amplitude>(ref));
+    kernels::reflect_about_uniform(v);
+    kernels::rotate_blocks_about_uniform(std::span<Amplitude>(ref), 512, 2.2);
+    kernels::rotate_blocks_about_uniform(v, 512, 2.2);
+    ASSERT_NO_FATAL_FAILURE(expect_matches(v, ref)) << "iteration " << iter;
+  }
+}
+
+TEST_P(IsaSweep, MeanReflectionsMatchReference) {
+  Rng rng(137);
+  auto ref = random_amps(1000, rng);
+  SoaVector v = SoaVector::from_amplitudes(ref);
+  kernels::reflect_non_target_about_their_mean(std::span<Amplitude>(ref), 123);
+  kernels::reflect_non_target_about_their_mean(v, 123);
+  expect_matches(v, ref);
+  const std::vector<Index> marked{0, 11, 999};
+  kernels::reflect_unmarked_about_their_mean(std::span<Amplitude>(ref), marked);
+  kernels::reflect_unmarked_about_their_mean(v, marked);
+  expect_matches(v, ref);
+}
+
+TEST_P(IsaSweep, ReductionsMatchReference) {
+  Rng rng(139);
+  for (const std::size_t size :
+       {std::size_t{1}, std::size_t{7}, std::size_t{4100}}) {
+    auto ref = random_amps(size, rng);
+    auto ref_b = random_amps(size, rng);
+    SoaVector v = SoaVector::from_amplitudes(ref);
+    SoaVector vb = SoaVector::from_amplitudes(ref_b);
+    EXPECT_NEAR(kernels::norm_squared(v), kernels::norm_squared(ref),
+                kTierTol);
+    EXPECT_LT(std::abs(kernels::sum_all(v) - kernels::sum_pairwise(ref)),
+              kTierTol);
+    EXPECT_LT(std::abs(kernels::inner_product(v, vb) -
+                       kernels::inner_product(ref, ref_b)),
+              kTierTol);
+    if (size > 2) {
+      EXPECT_NEAR(kernels::norm_squared_range(v, 1, size - 2),
+                  kernels::norm_squared(std::span<const Amplitude>(ref).subspan(
+                      1, size - 2)),
+                  kTierTol);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SupportedTiers, IsaSweep, ::testing::ValuesIn(supported_isas()),
+    [](const ::testing::TestParamInfo<Isa>& info) {
+      return std::string(isa_name(info.param));
+    });
 
 }  // namespace
 }  // namespace pqs::qsim

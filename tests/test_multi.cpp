@@ -83,8 +83,7 @@ TEST_P(MultiShape, StateVectorMatchesGeneralizedModel) {
     state.reflect_blocks_about_uniform(k);
     s = model.apply_local(s);
   }
-  qsim::kernels::reflect_unmarked_about_their_mean(state.amplitudes(),
-                                                   db.marked());
+  state.reflect_unmarked_about_their_mean(db.marked());
   s = model.apply_step3(s);
 
   // Compare class amplitudes: a marked state, an unmarked target-block

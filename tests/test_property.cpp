@@ -65,8 +65,8 @@ TEST_P(RandomCircuitProperty, NormIsPreservedByAnyOpSequence) {
         const auto qa = static_cast<unsigned>(rng.uniform_below(n));
         auto qb = static_cast<unsigned>(rng.uniform_below(n - 1));
         qb += qb >= qa ? 1 : 0;
-        qsim::kernels::apply_gate2(state.amplitudes(), n, qa, qb,
-                                   qsim::gates::CPhase(rng.uniform(0.0, kPi)));
+        state.apply_gate2(qa, qb,
+                          qsim::gates::CPhase(rng.uniform(0.0, kPi)));
         break;
       }
     }
@@ -153,11 +153,8 @@ TEST(PhaseKickback, ZeroAncillaJustRecordsTheBit) {
   const oracle::Database db = oracle::Database::with_qubits(n, 3);
   auto big = qsim::StateVector::uniform(n + 1);
   // Zero out the ancilla-1 half to make the ancilla |0> exactly.
-  {
-    auto amps = big.amplitudes();
-    for (qsim::Index x = 0; x < pow2(n); ++x) {
-      amps[x + pow2(n)] = Amplitude{0.0, 0.0};
-    }
+  for (qsim::Index x = 0; x < pow2(n); ++x) {
+    big.set_amplitude(x + pow2(n), Amplitude{0.0, 0.0});
   }
   big.normalize();
   db.apply_bit_oracle(big);

@@ -24,7 +24,7 @@ TEST(StateAngle, BasicGeometry) {
 TEST(StateAngle, InsensitiveToGlobalPhase) {
   auto a = qsim::StateVector::uniform(4);
   auto b = a;
-  qsim::kernels::scale(b.amplitudes(), qsim::Amplitude{-1.0, 0.0});
+  b.scale(qsim::Amplitude{-1.0, 0.0});
   EXPECT_NEAR(state_angle(a, b), 0.0, 1e-9);
 }
 

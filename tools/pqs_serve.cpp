@@ -8,6 +8,7 @@
 //     {"op":"submit","id":"a","spec":{"algorithm":"grk","n_items":4096,...}}
 //     {"op":"submit","id":"b","spec":{...},"priority":5}
 //     {"op":"cancel","id":"a"}
+//     {"op":"stats","id":"s"}
 //
 //   events (stdout)
 //     {"event":"accepted","id":"a"}                        immediate ack
@@ -15,6 +16,7 @@
 //     {"event":"result","id":"a","status":"done","report":{...}}
 //     {"event":"result","id":"a","status":"cancelled"}
 //     {"event":"result","id":"a","status":"failed","error":"..."}
+//     {"event":"stats","id":"s","isa":...,"workers":...}   deployment info
 //     {"event":"error","message":"..."}                    bad request line
 //
 // Result events are emitted in SUBMISSION order by a dedicated emitter
@@ -36,6 +38,7 @@
 #include "common/check.h"
 #include "common/cli.h"
 #include "common/json.h"
+#include "qsim/isa.h"
 #include "service/flags.h"
 #include "service/service.h"
 
@@ -100,7 +103,9 @@ int main(int argc, char** argv) {
 
   Service service(options);
   std::cerr << "pqs_serve: " << options.threads << " worker(s), queue depth "
-            << options.queue_capacity << "; reading JSONL from stdin\n";
+            << options.queue_capacity << ", kernel ISA "
+            << qsim::isa_name(qsim::active_isa())
+            << "; reading JSONL from stdin\n";
 
   // Finished jobs are announced in submission order: the emitter walks the
   // pending list front to back and blocks on each handle in turn. `jobs`
@@ -185,8 +190,20 @@ int main(int argc, char** argv) {
         event["event"] = "cancelling";
         event["id"] = id;
         emit(event);
+      } else if (op == "stats") {
+        // Deployment metadata, answered inline (it is not a job): which
+        // kernel tier this node dispatches to, and the pool shape. The CI
+        // fixture does not use it — the isa value is machine-dependent.
+        Json event = Json::make_object();
+        event["event"] = "stats";
+        event["id"] = id;
+        event["isa"] = std::string(qsim::isa_name(qsim::active_isa()));
+        event["workers"] = std::uint64_t{options.threads};
+        event["queue_capacity"] = std::uint64_t{options.queue_capacity};
+        emit(event);
       } else {
-        emit_error("unknown op \"" + op + "\" (expected submit | cancel)");
+        emit_error("unknown op \"" + op +
+                   "\" (expected submit | cancel | stats)");
       }
     } catch (const std::exception& e) {
       emit_error(e.what());
