@@ -88,6 +88,9 @@ void apply_dense_matrix(StateVector& state,
   // loop fan out over threads (rows are independent).
   static thread_local std::vector<Amplitude> scratch;
   scratch.resize(dim);
+  // scratch is thread_local, so inside the parallel region each worker would
+  // see its own (empty) instance; share the caller's buffer via a raw pointer.
+  Amplitude* const out = scratch.data();
   const std::span<const double> re = state.re();
   const std::span<const double> im = state.im();
   const auto rows = static_cast<std::int64_t>(dim);
@@ -100,7 +103,7 @@ void apply_dense_matrix(StateVector& state,
     for (std::size_t c = 0; c < dim; ++c) {
       sum += row[c] * Amplitude{re[c], im[c]};
     }
-    scratch[static_cast<std::size_t>(r)] = sum;
+    out[static_cast<std::size_t>(r)] = sum;
   }
   SoaVector& soa = state.soa();
   for (std::size_t i = 0; i < dim; ++i) {

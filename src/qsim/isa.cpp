@@ -1,5 +1,6 @@
 #include "qsim/isa.h"
 
+#include <atomic>
 #include <cstdlib>
 #include <string>
 
@@ -64,9 +65,11 @@ bool cpu_supports(Isa isa) {
 #endif
 }
 
-/// The test/bench override; guarded by first-use-only reads of PQS_ISA.
-std::optional<Isa>& forced_isa() {
-  static std::optional<Isa> forced;
+/// The test/bench override. Stored as an atomic int (-1 = no override) so a
+/// force_isa() racing a kernel dispatch on another thread is merely a stale
+/// read, not UB; tests are still expected to set it before spawning work.
+std::atomic<int>& forced_isa_raw() {
+  static std::atomic<int> forced{-1};
   return forced;
 }
 
@@ -106,8 +109,9 @@ std::vector<Isa> supported_isas() {
 }
 
 Isa active_isa() {
-  if (forced_isa().has_value()) {
-    return *forced_isa();
+  const int forced = forced_isa_raw().load(std::memory_order_relaxed);
+  if (forced >= 0) {
+    return static_cast<Isa>(forced);
   }
   // PQS_ISA is re-read on every call so a test harness that sets it before
   // spawning each child process sees the expected tier; the getenv cost is
@@ -121,7 +125,8 @@ void force_isa(std::optional<Isa> isa) {
                   "force_isa: tier '" + std::string(isa_name(*isa)) +
                       "' is not supported on this machine/build");
   }
-  forced_isa() = isa;
+  forced_isa_raw().store(isa.has_value() ? static_cast<int>(*isa) : -1,
+                         std::memory_order_relaxed);
 }
 
 }  // namespace pqs::qsim

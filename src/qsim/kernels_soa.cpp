@@ -470,7 +470,10 @@ void scale(SoaVector& v, Amplitude s) {
     const std::size_t clen = std::min(kChunk, v.size() - off);
     ops.scale(v.re() + off, v.im() + off, clen, s.real(), s.imag());
   }
-  // A global scale maps every block sum exactly: keep the cache alive.
+  // A global scale maps every block sum linearly, so keep the cache alive by
+  // rescaling it. In floating point s*sum(a) and sum(s*a) can differ by a few
+  // ulps, far below the 1e-10 agreement bar; reflect() refreshes the sums from
+  // stored data when exact refresh semantics matter.
   if (v.sum_block_size() != 0) {
     for (std::size_t b = 0; b < v.sum_re().size(); ++b) {
       const Amplitude next = s * Amplitude{v.sum_re()[b], v.sum_im()[b]};

@@ -249,7 +249,8 @@ TEST(SymmetryBackendTest, RunsFortyEightQubitGrkUnderASecond) {
 #ifndef __has_feature
 #define __has_feature(x) 0
 #endif
-#if defined(__SANITIZE_ADDRESS__) || __has_feature(address_sanitizer)
+#if defined(__SANITIZE_ADDRESS__) || __has_feature(address_sanitizer) || \
+    defined(__SANITIZE_THREAD__) || __has_feature(thread_sanitizer)
   // Instrumented builds run the same ~1.3e7 O(1) steps a few times slower;
   // the wall-clock claim belongs to uninstrumented builds.
   EXPECT_LT(watch.seconds(), 10.0);
