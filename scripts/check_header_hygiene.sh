@@ -1,23 +1,27 @@
 #!/usr/bin/env bash
-# Header hygiene: every public header of the facade (src/api) and the
-# simulation substrate (src/qsim) must compile standalone — i.e. carry all
-# of its own includes. Catches the "works because some .cpp included X
-# first" rot that breaks downstream users who include one header.
+# Header hygiene: EVERY header under src/ must compile standalone — i.e.
+# carry all of its own includes. Catches the "works because some .cpp
+# included X first" rot that breaks downstream users who include one
+# header. Originally scoped to the public facade (src/api) and the
+# simulation substrate (src/qsim); now that src/common and src/service
+# are load-bearing for embedders too, the sweep covers the whole tree.
 #
 # Usage: scripts/check_header_hygiene.sh [compiler]
 set -u
 cd "$(dirname "$0")/.."
 cxx="${1:-g++}"
 status=0
-for header in src/api/*.h src/api/algorithms/*.h src/qsim/*.h; do
+checked=0
+while IFS= read -r header; do
   rel="${header#src/}"
   if ! echo "#include \"${rel}\"" | \
        "${cxx}" -std=c++20 -fsyntax-only -Isrc -x c++ -; then
     echo "NOT self-contained: ${header}"
     status=1
   fi
-done
+  checked=$((checked + 1))
+done < <(find src -name '*.h' | sort)
 if [ "${status}" -eq 0 ]; then
-  echo "all public api/ and qsim/ headers are self-contained"
+  echo "all ${checked} src/ headers are self-contained"
 fi
 exit "${status}"

@@ -15,6 +15,12 @@
 // mutable state is the internally synchronized cache. That is the shape a
 // production deployment needs — one warm engine per process, requests from
 // many sessions, repeated specs skipping the seconds-long schedule search.
+//
+// The claim is machine-checked, not a comment: the Planner's cache is
+// capability-annotated (common/thread_annotations.h) and the registry is
+// const-immutable after construction, so the Clang thread-safety build
+// (cmake -DPQS_THREAD_SAFETY=ON) proves Engine has no unguarded shared
+// mutable state.
 #pragma once
 
 #include <string>

@@ -8,7 +8,7 @@ Plan Planner::schedule(std::uint64_t n_items, std::uint64_t n_blocks,
                        double min_success, std::uint64_t n_marked) const {
   const PlanKey key{n_items, n_blocks, n_marked, min_success};
   {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     if (const auto* found = cache_.find(key)) {
       hits_.fetch_add(1, std::memory_order_relaxed);
       return Plan{*found, /*cache_hit=*/true, 0};
@@ -24,33 +24,33 @@ Plan Planner::schedule(std::uint64_t n_items, std::uint64_t n_blocks,
   const std::uint64_t plan_ns = watch.nanos();
   misses_.fetch_add(1, std::memory_order_relaxed);
 
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   const auto& stored = cache_.put(key, schedule);
   return Plan{stored, /*cache_hit=*/false, plan_ns};
 }
 
 std::uint64_t Planner::evictions() const {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   return cache_.evictions();
 }
 
 std::uint64_t Planner::size() const {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   return cache_.size();
 }
 
 std::size_t Planner::capacity() const {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   return cache_.capacity();
 }
 
 void Planner::set_capacity(std::size_t capacity) {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   cache_.set_capacity(capacity);
 }
 
 void Planner::clear() {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   cache_.clear();
   hits_.store(0);
   misses_.store(0);

@@ -17,9 +17,9 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 
 #include "common/lru.h"
+#include "common/thread_annotations.h"
 #include "partial/optimizer.h"
 
 namespace pqs {
@@ -73,8 +73,12 @@ class Planner {
   void clear();
 
  private:
-  mutable std::mutex mutex_;
-  mutable LruMap<PlanKey, partial::IntegerOptimum> cache_;
+  /// Guards the LruMap (which is deliberately lock-free itself — see
+  /// common/lru.h); the hit/miss counters are atomics so a hot cache path
+  /// can bump them outside the critical section.
+  mutable Mutex mutex_;
+  mutable LruMap<PlanKey, partial::IntegerOptimum> cache_
+      PQS_GUARDED_BY(mutex_);
   mutable std::atomic<std::uint64_t> hits_{0};
   mutable std::atomic<std::uint64_t> misses_{0};
 };

@@ -76,6 +76,10 @@ using AlgorithmFactory = std::function<std::unique_ptr<Algorithm>()>;
 
 /// Name -> algorithm map. Mutate-then-share: register everything up front,
 /// then hand the registry to an Engine; lookups are const and lock-free.
+/// That immutability is the concurrency invariant — there is deliberately
+/// no mutex here to annotate (common/thread_annotations.h), and the
+/// thread-safety build verifies no locking sneaks in: an Engine's registry
+/// is only reachable const, so concurrent Engine::run calls cannot race.
 class Registry {
  public:
   /// Register `factory`'s algorithm under `name` (the factory runs once,

@@ -5,7 +5,10 @@
 // the same policy: keep the most recently touched entries, evict the
 // coldest, count what happens. LruMap is that policy as a container:
 // a recency list plus an index map. NOT thread-safe; callers hold their own
-// lock (both users already serialize access).
+// lock and annotate their instance for the Clang thread-safety analysis —
+// `LruMap<K, V> cache_ PQS_GUARDED_BY(mutex_);` — so every access path is
+// machine-checked to hold that lock (see api/planner.h and
+// service/service.h, the two owners).
 #pragma once
 
 #include <cstddef>

@@ -74,6 +74,9 @@ std::atomic<int>& forced_isa_raw() {
 }
 
 Isa env_or_best_isa() {
+  // getenv is only MT-unsafe against a concurrent setenv; this process
+  // never writes its environment, so the read-only access is safe.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   if (const char* env = std::getenv("PQS_ISA"); env != nullptr && *env != 0) {
     const Isa isa = parse_isa(env);
     PQS_CHECK_MSG(isa_supported(isa),

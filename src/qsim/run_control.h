@@ -12,7 +12,11 @@
 // one per job and exposes it through JobHandle::cancel / progress.
 //
 // All members are lock-free atomics, so checking from inside an OpenMP shot
-// fan-out is safe and cheap (a relaxed load per shot).
+// fan-out is safe and cheap (a relaxed load per shot). Because there is no
+// mutex, there is nothing here for the Clang thread-safety analysis
+// (common/thread_annotations.h) to guard — lock-freedom IS the invariant,
+// and tools/pqs_lint.py keeps it honest by flagging any bare std::mutex
+// member that might creep in.
 #pragma once
 
 #include <atomic>

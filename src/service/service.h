@@ -35,7 +35,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -44,6 +43,8 @@
 
 #include "api/engine.h"
 #include "common/lru.h"
+#include "common/thread_annotations.h"
+#include "common/timing.h"
 #include "qsim/run_control.h"
 
 namespace pqs {
@@ -76,7 +77,30 @@ struct ServiceStats {
 };
 
 namespace detail {
-struct Job;
+
+/// The shared state of one job. Lifecycle fields are guarded by `mutex`
+/// (machine-checked: common/thread_annotations.h); the RunControl and the
+/// attachment counter are lock-free so the shot loops and cancel() never
+/// contend with waiters. Lock order where both are held: Service::mutex_
+/// before Job::mutex, never the reverse.
+struct Job {
+  SearchSpec spec;   ///< canonicalized: marked materialized, no predicate
+  std::string key;   ///< api::canonical_key(spec)
+  /// Queue position; written only by Service with Service::mutex_ held.
+  int priority = 0;
+  std::uint64_t seq = 0;
+
+  qsim::RunControl control;
+  std::atomic<std::uint64_t> attached{0};  ///< live uncancelled handles
+  Stopwatch queued_at;                     ///< started at submit
+
+  mutable Mutex mutex;
+  std::condition_variable_any cv;
+  JobStatus status PQS_GUARDED_BY(mutex) = JobStatus::kQueued;
+  SearchReport report PQS_GUARDED_BY(mutex);  // valid once kDone
+  std::string error PQS_GUARDED_BY(mutex);    // valid once kFailed
+};
+
 }  // namespace detail
 
 /// One caller's attachment to a job. Handles are cheap to copy (copies
@@ -119,7 +143,7 @@ class JobHandle {
             std::shared_ptr<std::atomic<bool>> cancelled)
       : job_(std::move(job)), cancelled_(std::move(cancelled)) {}
 
-  JobStatus status_locked() const;
+  JobStatus status_locked() const PQS_REQUIRES(job_->mutex);
 
   std::shared_ptr<detail::Job> job_;
   std::shared_ptr<std::atomic<bool>> cancelled_;  ///< this attachment only
@@ -153,31 +177,34 @@ class Service {
   const ServiceOptions& options() const { return options_; }
 
  private:
-  void worker_loop();
-  void execute(const std::shared_ptr<detail::Job>& job);
+  void worker_loop() PQS_EXCLUDES(mutex_);
+  void execute(const std::shared_ptr<detail::Job>& job) PQS_EXCLUDES(mutex_);
   /// Move a job to a terminal state, publish the result, wake waiters.
   void finish(const std::shared_ptr<detail::Job>& job, JobStatus status,
-              SearchReport report, std::string error);
+              SearchReport report, std::string error) PQS_EXCLUDES(mutex_);
   /// Settle every fully-cancelled job still waiting in the queue (called
   /// with mutex_ held when the queue hits capacity): cancellation must be
   /// able to shed load, not just mark jobs a worker will discard later.
-  void reap_cancelled_locked();
+  void reap_cancelled_locked() PQS_REQUIRES(mutex_);
   JobHandle attach(const std::shared_ptr<detail::Job>& job);
 
   ServiceOptions options_;
   Engine engine_;
 
-  mutable std::mutex mutex_;  ///< guards queue_, inflight_, results_, stats_
-  std::condition_variable queue_cv_;
+  /// Guards the queue, the coalescing index, the result cache, and the
+  /// counters (annotated below — the analysis rejects unlocked access).
+  mutable Mutex mutex_;
+  std::condition_variable_any queue_cv_;
   /// (-priority, sequence) -> job: begin() is the next job to run.
   std::map<std::pair<int, std::uint64_t>, std::shared_ptr<detail::Job>>
-      queue_;
+      queue_ PQS_GUARDED_BY(mutex_);
   /// canonical key -> queued-or-running job (the coalescing index).
-  std::map<std::string, std::shared_ptr<detail::Job>> inflight_;
-  LruMap<std::string, SearchReport> results_;
-  ServiceStats stats_;
-  std::uint64_t next_seq_ = 0;
-  bool stopping_ = false;
+  std::map<std::string, std::shared_ptr<detail::Job>> inflight_
+      PQS_GUARDED_BY(mutex_);
+  LruMap<std::string, SearchReport> results_ PQS_GUARDED_BY(mutex_);
+  ServiceStats stats_ PQS_GUARDED_BY(mutex_);
+  std::uint64_t next_seq_ PQS_GUARDED_BY(mutex_) = 0;
+  bool stopping_ PQS_GUARDED_BY(mutex_) = false;
 
   std::vector<std::thread> workers_;  ///< constructed last, joined first
 };

@@ -1,0 +1,25 @@
+// Golden fixture: the annotated-wrapper shape (common/thread_annotations.h).
+// pqs::Mutex is a capability the analysis tracks; PQS_GUARDED_BY members
+// cannot be touched without the lock under -Wthread-safety. The lint must
+// not flag the wrapper type (and "std::mutex" in this comment is stripped).
+#pragma once
+
+#include "common/thread_annotations.h"
+
+namespace fixture {
+
+class Cache {
+ public:
+  void put(int key, int value) {
+    pqs::LockGuard lock(mutex_);
+    last_key_ = key;
+    last_value_ = value;
+  }
+
+ private:
+  mutable pqs::Mutex mutex_;
+  int last_key_ PQS_GUARDED_BY(mutex_) = 0;
+  int last_value_ PQS_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace fixture

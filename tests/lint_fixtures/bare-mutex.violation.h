@@ -1,0 +1,24 @@
+// Golden fixture: a bare std::mutex member. Invisible to the Clang
+// thread-safety analysis — the members it guards revert to comment-checked
+// locking, which is how lock-discipline bugs ship.
+#pragma once
+
+#include <mutex>
+
+namespace fixture {
+
+class Cache {
+ public:
+  void put(int key, int value) {
+    std::lock_guard lock(mutex_);
+    last_key_ = key;
+    last_value_ = value;
+  }
+
+ private:
+  mutable std::mutex mutex_;  // flagged: bypasses pqs::Mutex
+  int last_key_ = 0;          // "guarded by mutex_" — but only in comments
+  int last_value_ = 0;
+};
+
+}  // namespace fixture

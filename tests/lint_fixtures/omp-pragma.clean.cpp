@@ -1,0 +1,20 @@
+// Golden fixture: serial code, with `#pragma omp` appearing only inside a
+// comment and a string literal — both stripped before the omp-pragma rule
+// matches, so neither may be flagged.
+#include <cstddef>
+#include <string>
+
+namespace fixture {
+
+// A tempting spot for #pragma omp parallel for — kept serial on purpose.
+double sum(const double* data, std::size_t n) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += data[i];
+  }
+  return total;
+}
+
+std::string describe() { return "no #pragma omp here"; }
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Golden fixture: an OpenMP pragma in a file not on the approved list
+// (tools/pqs_lint.py OMP_PRAGMA_ALLOWED). Parallel regions interact with
+// thread_locals, the BatchRunner's own fan-out, and TSan's libgomp blind
+// spot — adding one is a reviewed decision, not a drive-by.
+#include <cstddef>
+
+namespace fixture {
+
+double sum(const double* data, std::size_t n) {
+  double total = 0.0;
+#pragma omp parallel for reduction(+ : total)
+  for (long i = 0; i < static_cast<long>(n); ++i) {
+    total += data[i];
+  }
+  return total;
+}
+
+}  // namespace fixture

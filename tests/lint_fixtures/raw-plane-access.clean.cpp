@@ -1,0 +1,23 @@
+// Golden fixture: amplitude access through the sanctioned API — get()/set()
+// and the kernels layer — plus near-miss identifiers (real(), imag(),
+// prefix-free names) that must NOT trip the raw-plane-access rule.
+#include <complex>
+
+namespace fixture {
+
+struct FakeState {
+  std::complex<double> get(unsigned long i) const {
+    return {static_cast<double>(i), 0.0};
+  }
+};
+
+double peek_first_amplitude(const FakeState& state) {
+  const std::complex<double> amp = state.get(0);
+  // .real()/.imag() are std::complex accessors, not plane access; a
+  // mention of .re( in this comment is stripped before matching.
+  return amp.real() + amp.imag();
+}
+
+double require_result(double im) { return im; }  // param named im: fine
+
+}  // namespace fixture

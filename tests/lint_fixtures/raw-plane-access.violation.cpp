@@ -1,0 +1,15 @@
+// Golden fixture: raw SoA plane access outside the qsim kernel layer.
+// Touching the planes directly bypasses the block-sum cache discipline
+// (qsim/soa.h) — the next same-partition reflection would reuse stale sums.
+namespace fixture {
+
+struct FakeSoa {
+  double* re() { return nullptr; }
+  double* im() { return nullptr; }
+};
+
+double peek_first_amplitude(FakeSoa& soa) {
+  return soa.re()[0] + soa.im()[0];  // raw plane access: flagged
+}
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Golden fixture: randomness drawn from the seeded project Rng, plus
+// near-miss identifiers ("brand", "operand", "strand") that contain the
+// letters r-a-n-d but must not trip the raw-random rule.
+namespace fixture {
+
+struct SeededRng {  // stands in for pqs::Rng (common/random.h)
+  unsigned long state;
+  unsigned long next() { return state = state * 6364136223846793005UL + 1; }
+};
+
+unsigned long sample_index(SeededRng& rng, unsigned long n) {
+  return rng.next() % n;
+}
+
+unsigned long brand(unsigned long operand) { return operand; }
+unsigned long strand(unsigned long x) { return brand(x); }
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Golden fixture: stochastic code bypassing pqs::Rng. Both the C rand()
+// pair and a naked std::mt19937 break seed-reproducibility — a report's
+// printed seed can no longer replay the run.
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+unsigned long sample_index(unsigned long n) {
+  std::srand(42);                           // flagged
+  std::mt19937 gen(42);                     // flagged
+  return (static_cast<unsigned long>(std::rand()) + gen()) % n;  // flagged
+}
+
+}  // namespace fixture

@@ -1,0 +1,29 @@
+// Golden fixture: the EXACT bug class PR 6 shipped and review had to catch
+// dynamically. apply_dense_matrix kept its scratch buffer in a `static
+// thread_local` and wrote it inside the OpenMP parallel region — each
+// worker thread sees its OWN (empty, size 0) thread_local instance, so the
+// writes are out of bounds and the rows never reach the caller's buffer.
+// pqs_lint's thread-local-omp rule must flag the in-region reference.
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+void apply_dense_matrix_prefix_pr6(const double* matrix, const double* in,
+                                   double* result, std::size_t dim) {
+  static thread_local std::vector<double> scratch;
+  scratch.resize(dim);
+#pragma omp parallel for schedule(static)
+  for (long r = 0; r < static_cast<long>(dim); ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < dim; ++c) {
+      sum += matrix[static_cast<std::size_t>(r) * dim + c] * in[c];
+    }
+    scratch[static_cast<std::size_t>(r)] = sum;  // worker's OWN empty vector
+  }
+  for (std::size_t i = 0; i < dim; ++i) {
+    result[i] = scratch[i];  // main thread's instance: rows never arrived
+  }
+}
+
+}  // namespace fixture

@@ -29,7 +29,6 @@
 #include <deque>
 #include <iostream>
 #include <map>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
@@ -38,6 +37,7 @@
 #include "common/check.h"
 #include "common/cli.h"
 #include "common/json.h"
+#include "common/thread_annotations.h"
 #include "qsim/isa.h"
 #include "service/flags.h"
 #include "service/service.h"
@@ -46,11 +46,11 @@ namespace {
 
 using namespace pqs;
 
-std::mutex g_out_mutex;
+Mutex g_out_mutex;  // serializes whole event lines onto stdout
 
 void emit(const Json& event) {
   const std::string line = event.dump();
-  std::lock_guard lock(g_out_mutex);
+  LockGuard lock(g_out_mutex);
   std::cout << line << "\n" << std::flush;
 }
 
@@ -112,16 +112,18 @@ int main(int argc, char** argv) {
   // (the cancel index) is shared with the emitter, which prunes each entry
   // after announcing it — ids are reusable once their result is out, and a
   // long-lived server does not accumulate one handle per request forever.
-  std::mutex pending_mutex;
-  std::condition_variable pending_cv;
+  Mutex pending_mutex;
+  std::condition_variable_any pending_cv;
   std::deque<std::pair<std::string, JobHandle>> pending;
   bool input_done = false;
   std::map<std::string, JobHandle> jobs;
 
   std::thread emitter([&] {
     while (true) {
-      std::unique_lock lock(pending_mutex);
-      pending_cv.wait(lock, [&] { return input_done || !pending.empty(); });
+      UniqueLock lock(pending_mutex);
+      while (!input_done && pending.empty()) {
+        pending_cv.wait(lock);
+      }
       if (pending.empty()) {
         return;  // input finished and everything announced
       }
@@ -149,7 +151,7 @@ int main(int argc, char** argv) {
       const std::string& id = request.at("id").as_string();
       if (op == "submit") {
         {
-          std::lock_guard lock(pending_mutex);
+          LockGuard lock(pending_mutex);
           PQS_CHECK_MSG(!jobs.contains(id),
                         "duplicate in-flight job id \"" + id + "\"");
         }
@@ -163,7 +165,7 @@ int main(int argc, char** argv) {
         JobHandle handle =
             service.submit(api::spec_from_json(request.at("spec")), priority);
         {
-          std::lock_guard lock(pending_mutex);
+          LockGuard lock(pending_mutex);
           jobs.emplace(id, handle);
         }
         // Ack BEFORE the emitter can see the handle: a cache-served job is
@@ -173,13 +175,13 @@ int main(int argc, char** argv) {
         event["id"] = id;
         emit(event);
         {
-          std::lock_guard lock(pending_mutex);
+          LockGuard lock(pending_mutex);
           pending.emplace_back(id, std::move(handle));
         }
         pending_cv.notify_one();
       } else if (op == "cancel") {
         JobHandle target = [&] {
-          std::lock_guard lock(pending_mutex);
+          LockGuard lock(pending_mutex);
           const auto it = jobs.find(id);
           PQS_CHECK_MSG(it != jobs.end(),
                         "unknown or already-finished job id \"" + id + "\"");
@@ -211,7 +213,7 @@ int main(int argc, char** argv) {
   }
 
   {
-    std::lock_guard lock(pending_mutex);
+    LockGuard lock(pending_mutex);
     input_done = true;
   }
   pending_cv.notify_all();
