@@ -58,7 +58,7 @@ int main(int argc, char** argv) {
   }
   const ServiceStats stats = service.stats();
   std::cout << "\nstats: " << stats.submitted << " submitted, "
-            << stats.coalesced << " coalesced, " << stats.executed
+            << stats.coalesced_submits << " coalesced, " << stats.executed
             << " executed, " << stats.done << " done\n";
 
   // Cancellation: a huge sweep we change our mind about.

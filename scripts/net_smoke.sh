@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Networked-serve smoke: the byte-determinism acceptance gate for the net
+# subsystem. Replays tests/fixtures/serve_session.jsonl through
+#
+#   1. one pqs_serve --listen worker, directly, and
+#   2. a pqs_router sharding the same fixture across FOUR workers,
+#
+# and requires the client-visible result streams to be byte-identical —
+# submission-ordered release in the session emitter and the router's
+# in-order flush are exactly what make a shard fleet transparent at fixed
+# seeds. Also asserts the fixture's known shape: 6 results (the seventh
+# request carries an invalid spec and is answered by an error ack).
+#
+# Usage: scripts/net_smoke.sh [build-dir]   (default: build)
+set -eu
+cd "$(dirname "$0")/.."
+build="${1:-build}"
+serve="${build}/tools/pqs_serve"
+router="${build}/tools/pqs_router"
+loadgen="${build}/tools/pqs_loadgen"
+fixture="tests/fixtures/serve_session.jsonl"
+out="$(mktemp -d)"
+pids=()
+
+cleanup() {
+  for pid in "${pids[@]:-}"; do
+    kill "${pid}" 2>/dev/null || true
+  done
+  wait 2>/dev/null || true
+  rm -rf "${out}"
+}
+trap cleanup EXIT
+
+# Ephemeral base port, offset into the dynamic range by PID to keep
+# concurrent CI shards from colliding.
+base=$(( 20000 + ($$ % 20000) ))
+
+echo "== direct: one worker =="
+"${serve}" --listen "127.0.0.1:$((base))" --threads 2 \
+  2>"${out}/serve_direct.log" &
+pids+=($!)
+"${loadgen}" --connect "127.0.0.1:$((base))" --fixture "${fixture}" \
+  > "${out}/direct.jsonl"
+
+echo "== routed: pqs_router over four workers =="
+workers=""
+for w in 1 2 3 4; do
+  "${serve}" --listen "127.0.0.1:$((base + w))" --threads 2 \
+    2>"${out}/serve_w${w}.log" &
+  pids+=($!)
+  workers="${workers}${workers:+,}127.0.0.1:$((base + w))"
+done
+"${router}" --listen "127.0.0.1:$((base + 5))" --workers "${workers}" \
+  2>"${out}/router.log" &
+pids+=($!)
+"${loadgen}" --connect "127.0.0.1:$((base + 5))" --fixture "${fixture}" \
+  > "${out}/routed.jsonl"
+
+echo "== verdict =="
+test "$(wc -l < "${out}/direct.jsonl")" = 6
+diff "${out}/direct.jsonl" "${out}/routed.jsonl"
+echo "net_smoke: result stream byte-identical, 1 direct worker vs router + 4 workers"

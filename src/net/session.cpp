@@ -1,0 +1,296 @@
+#include "net/session.h"
+
+#include <cmath>
+#include <optional>
+
+#include "api/serialize.h"
+#include "common/check.h"
+#include "common/json.h"
+#include "qsim/isa.h"
+
+namespace pqs::net {
+
+namespace {
+
+Json result_event(const std::string& id, const JobHandle& handle,
+                  bool with_timing) {
+  const JobStatus status = handle.status();
+  Json event = Json::make_object();
+  event["event"] = "result";
+  event["id"] = id;
+  event["status"] = std::string(to_string(status));
+  if (status == JobStatus::kDone) {
+    SearchReport report = handle.report();
+    if (!with_timing) {
+      // The answer fields are deterministic at fixed seed; these four
+      // describe how the run happened to execute (wall clock, cache
+      // warmth under racing workers) and would break byte-for-byte diffs.
+      report.queue_ns = 0;
+      report.plan_ns = 0;
+      report.exec_ns = 0;
+      report.plan_cache_hit = false;
+    }
+    event["report"] = api::to_json(report);
+  } else if (status == JobStatus::kFailed) {
+    event["error"] = handle.error();
+  }
+  return event;
+}
+
+Json overloaded_event(const std::string& id, const std::string& reason) {
+  Json event = Json::make_object();
+  event["event"] = "overloaded";
+  event["id"] = id;
+  event["reason"] = reason;
+  return event;
+}
+
+}  // namespace
+
+Session::Session(Service& service, WriteLine write_line,
+                 SessionOptions options)
+    : service_(service), options_(options) {
+  {
+    // The session is not shared yet, but write_line_ is a guarded member
+    // and the analysis (rightly) has no notion of "not shared yet".
+    LockGuard lock(out_mutex_);
+    write_line_ = std::move(write_line);
+  }
+  emitter_ = std::thread([this] { emitter_loop(); });
+}
+
+Session::~Session() {
+  abort();
+  if (emitter_.joinable()) {
+    emitter_.join();
+  }
+}
+
+void Session::emit(const Json& event) {
+  const std::string line = event.dump();
+  bool gone = false;
+  {
+    LockGuard lock(out_mutex_);
+    if (peer_gone_) {
+      return;
+    }
+    if (!write_line_(line)) {
+      peer_gone_ = true;
+      gone = true;
+    }
+  }
+  if (gone) {
+    abort();  // a dead sink sheds its load like a dropped connection
+  }
+}
+
+void Session::emit_error(const std::string& message) {
+  Json event = Json::make_object();
+  event["event"] = "error";
+  event["message"] = message;
+  emit(event);
+}
+
+Json Session::stats_event(const std::string& id) const {
+  const ServiceStats stats = service_.stats();
+  const StageHistograms latency = service_.latency_histograms();
+  const ServiceOptions& options = service_.options();
+
+  Json event = Json::make_object();
+  event["event"] = "stats";
+  if (!id.empty()) {
+    event["id"] = id;
+  }
+  // Deployment shape: which kernel tier this node dispatches to, and the
+  // pool bounds (the isa value is machine-dependent — CI fixtures must not
+  // diff this event).
+  event["isa"] = std::string(qsim::isa_name(qsim::active_isa()));
+  event["workers"] = std::uint64_t{options.threads};
+  event["queue_capacity"] = std::uint64_t{options.queue_capacity};
+  event["queue_depth"] = std::uint64_t{service_.queue_depth()};
+
+  Json counters = Json::make_object();
+  counters["submitted"] = stats.submitted;
+  counters["coalesced_submits"] = stats.coalesced_submits;
+  counters["cache_hits"] = stats.cache_hits;
+  counters["rejected"] = stats.rejected;
+  counters["executed"] = stats.executed;
+  counters["done"] = stats.done;
+  counters["cancelled"] = stats.cancelled;
+  counters["failed"] = stats.failed;
+  event["counters"] = std::move(counters);
+  event["coalescing_hit_rate"] = stats.coalescing_hit_rate();
+
+  Json plan_cache = Json::make_object();
+  plan_cache["hits"] = stats.plan_cache_hits;
+  plan_cache["misses"] = stats.plan_cache_misses;
+  plan_cache["evictions"] = stats.plan_cache_evictions;
+  plan_cache["size"] = stats.plan_cache_size;
+  event["plan_cache"] = std::move(plan_cache);
+
+  Json result_cache = Json::make_object();
+  result_cache["hits"] = stats.cache_hits;
+  result_cache["evictions"] = stats.result_cache_evictions;
+  result_cache["size"] = stats.result_cache_size;
+  result_cache["capacity"] = std::uint64_t{options.result_cache_capacity};
+  event["result_cache"] = std::move(result_cache);
+
+  Json latency_ns = Json::make_object();
+  latency_ns["queue"] = latency.queue.to_json();
+  latency_ns["plan"] = latency.plan.to_json();
+  latency_ns["exec"] = latency.exec.to_json();
+  event["latency_ns"] = std::move(latency_ns);
+  return event;
+}
+
+std::size_t Session::inflight() const {
+  LockGuard lock(mutex_);
+  return jobs_.size();
+}
+
+void Session::handle_line(const std::string& line) {
+  if (line.empty()) {
+    return;
+  }
+  try {
+    const Json request = Json::parse(line);
+    const std::string& op = request.at("op").as_string();
+    // stats is connection-level: an id is optional there (echoed back when
+    // given, so a multiplexing client can pair the reply). submit/cancel
+    // address jobs and must name one.
+    const std::string id =
+        request.has("id") ? request.at("id").as_string() : std::string();
+    if (op == "submit" || op == "cancel") {
+      PQS_CHECK_MSG(!id.empty(),
+                    "\"" + op + "\" requires a non-empty \"id\"");
+    }
+    if (op == "submit") {
+      bool over_cap = false;
+      {
+        LockGuard lock(mutex_);
+        PQS_CHECK_MSG(!jobs_.contains(id),
+                      "duplicate in-flight job id \"" + id + "\"");
+        over_cap = options_.inflight_limit != 0 &&
+                   jobs_.size() >= options_.inflight_limit;
+      }
+      if (over_cap) {
+        emit(overloaded_event(
+            id, "inflight cap (" + std::to_string(options_.inflight_limit) +
+                    " unanswered submits on this connection)"));
+        return;
+      }
+      // as_double accepts both wire number kinds; negative priorities
+      // (below-default urgency) are valid ints but parse as doubles.
+      const int priority =
+          request.has("priority")
+              ? static_cast<int>(
+                    std::llround(request.at("priority").as_double()))
+              : 0;
+      std::optional<JobHandle> handle;
+      try {
+        handle = service_.submit(api::spec_from_json(request.at("spec")),
+                                 priority);
+      } catch (const OverloadedError& e) {
+        emit(overloaded_event(id, e.what()));
+        return;
+      }
+      {
+        LockGuard lock(mutex_);
+        jobs_.emplace(id, *handle);
+      }
+      // Ack BEFORE the emitter can see the handle: a cache-served job is
+      // already done, and its result must not precede the accepted event.
+      Json event = Json::make_object();
+      event["event"] = "accepted";
+      event["id"] = id;
+      emit(event);
+      {
+        LockGuard lock(mutex_);
+        pending_.emplace_back(id, std::move(*handle));
+      }
+      cv_.notify_one();
+    } else if (op == "cancel") {
+      JobHandle target = [&] {
+        LockGuard lock(mutex_);
+        const auto it = jobs_.find(id);
+        PQS_CHECK_MSG(it != jobs_.end(),
+                      "unknown or already-finished job id \"" + id + "\"");
+        return it->second;
+      }();
+      target.cancel();
+      Json event = Json::make_object();
+      event["event"] = "cancelling";
+      event["id"] = id;
+      emit(event);
+    } else if (op == "stats") {
+      emit(stats_event(id));
+    } else {
+      emit_error("unknown op \"" + op +
+                 "\" (expected submit | cancel | stats)");
+    }
+  } catch (const std::exception& e) {
+    emit_error(e.what());
+  }
+}
+
+void Session::drain() {
+  {
+    LockGuard lock(mutex_);
+    input_done_ = true;
+  }
+  cv_.notify_all();
+  if (emitter_.joinable()) {
+    emitter_.join();
+  }
+}
+
+void Session::abort() {
+  std::vector<JobHandle> outstanding;
+  {
+    LockGuard lock(mutex_);
+    if (aborted_) {
+      return;
+    }
+    aborted_ = true;
+    input_done_ = true;
+    // jobs_ holds every unannounced handle, including the one the emitter
+    // popped from pending_ and is currently waiting on.
+    outstanding.reserve(jobs_.size());
+    for (const auto& [id, handle] : jobs_) {
+      outstanding.push_back(handle);
+    }
+    jobs_.clear();
+    pending_.clear();
+  }
+  cv_.notify_all();
+  for (JobHandle& handle : outstanding) {
+    handle.cancel();  // detaches this session; coalesced peers keep running
+  }
+}
+
+void Session::emitter_loop() {
+  while (true) {
+    UniqueLock lock(mutex_);
+    while (!input_done_ && !aborted_ && pending_.empty()) {
+      cv_.wait(lock);  // inline predicate loop: see thread_annotations.h
+    }
+    if (aborted_ || pending_.empty()) {
+      return;  // aborted, or input finished and everything announced
+    }
+    auto next = std::move(pending_.front());
+    pending_.pop_front();
+    lock.unlock();
+    next.second.wait();  // abort()'s cancel also wakes this
+    // Free the id BEFORE the result line goes out: a client that reacts
+    // to the result by reusing the id must never race the erase.
+    lock.lock();
+    if (aborted_) {
+      return;  // peer gone while we waited: announce nothing
+    }
+    jobs_.erase(next.first);
+    lock.unlock();
+    emit(result_event(next.first, next.second, options_.with_timing));
+  }
+}
+
+}  // namespace pqs::net

@@ -1,0 +1,112 @@
+// One JSONL protocol session over a pqs::Service — the piece pqs_serve's
+// stdin loop and every TCP connection share.
+//
+// A session consumes request lines (submit / cancel / stats) and produces
+// event lines (accepted / overloaded / cancelling / stats / result / error).
+// Protocol contract, identical on every transport:
+//
+//   * every request line is answered SYNCHRONOUSLY by exactly one ack event
+//     (`accepted`, `overloaded`, `cancelling`, `stats`, or `error`) before
+//     the next line is processed — clients and the router pair acks to
+//     requests by order, no ids needed on errors;
+//   * `result` events are asynchronous and arrive in SUBMISSION order (a
+//     dedicated emitter thread walks the pending jobs front to back), so at
+//     fixed seeds — with timing zeroed unless with_timing — the result
+//     stream is a byte-deterministic function of the request stream;
+//   * overload is explicit, never silent latency: a submit past the
+//     Service's bounded queue or past this session's inflight cap gets an
+//     immediate `overloaded` event naming the reason.
+//
+// End-of-input has two shapes because transports differ: drain() (stdin
+// EOF: the pipe is done but the reader still wants its results) blocks
+// until every accepted job is announced; abort() (TCP peer gone) cancels
+// every unannounced job through its RunControl — a dropped connection must
+// shed its load, not finish work nobody will read.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "common/thread_annotations.h"
+#include "service/service.h"
+
+namespace pqs::net {
+
+struct SessionOptions {
+  /// Emit real queue/plan/exec timing in result payloads (off keeps the
+  /// output byte-deterministic at fixed seeds).
+  bool with_timing = false;
+  /// Most unanswered submits in flight on this session (0 = unbounded).
+  std::size_t inflight_limit = 0;
+};
+
+class Session {
+ public:
+  /// Sink for one complete event line (no terminator). Returns false when
+  /// the peer is unreachable — the session then aborts itself. Called from
+  /// both the session's thread and its emitter thread, but never
+  /// concurrently (the session serializes).
+  using WriteLine = std::function<bool(const std::string&)>;
+
+  Session(Service& service, WriteLine write_line, SessionOptions options = {});
+  /// Aborts (cancelling any still-unannounced jobs) unless drained first.
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Process one request line (empty lines are ignored). Call from one
+  /// thread only.
+  void handle_line(const std::string& line);
+
+  /// Input exhausted cleanly: block until every accepted job's result is
+  /// announced, then stop the emitter.
+  void drain();
+
+  /// Peer gone: cancel every unannounced job via its RunControl, emit
+  /// nothing more. Idempotent; safe after drain().
+  void abort();
+
+  /// Unanswered submits right now (the inflight cap's measure).
+  std::size_t inflight() const;
+
+ private:
+  void emitter_loop();
+  /// Serialize + write one event; on a dead sink, aborts the session.
+  void emit(const Json& event);
+  void emit_error(const std::string& message);
+  /// The extended `stats` event: deployment shape, queue depth, counters,
+  /// coalescing hit-rate, cache counters, per-stage latency histograms.
+  Json stats_event(const std::string& id) const;
+
+  Service& service_;
+  SessionOptions options_;
+
+  /// Serializes event lines onto the sink (conn thread acks vs emitter
+  /// results) and guards the peer-gone latch.
+  mutable Mutex out_mutex_;
+  WriteLine write_line_ PQS_GUARDED_BY(out_mutex_);
+  bool peer_gone_ PQS_GUARDED_BY(out_mutex_) = false;
+
+  /// Guards the submission-order queue and the cancel index. Never held
+  /// together with out_mutex_ (emit() runs outside mutex_, and a failed
+  /// write releases out_mutex_ before abort() takes mutex_).
+  mutable Mutex mutex_;
+  std::condition_variable_any cv_;
+  /// (id, handle) in submission order; the emitter announces front first.
+  std::deque<std::pair<std::string, JobHandle>> pending_ PQS_GUARDED_BY(mutex_);
+  /// id -> handle for every unannounced job (cancel ops, abort, the cap).
+  std::map<std::string, JobHandle> jobs_ PQS_GUARDED_BY(mutex_);
+  bool input_done_ PQS_GUARDED_BY(mutex_) = false;
+  bool aborted_ PQS_GUARDED_BY(mutex_) = false;
+
+  std::thread emitter_;  ///< constructed last, joined by drain()/~Session
+};
+
+}  // namespace pqs::net

@@ -1,5 +1,7 @@
 #include "service/flags.h"
 
+#include <cstdint>
+
 #include "common/check.h"
 
 namespace pqs::service {
@@ -17,6 +19,37 @@ ServiceOptions parse_service_flags(Cli& cli, unsigned default_threads,
       "bounded job-queue capacity (submits beyond it are rejected)");
   PQS_CHECK_MSG(depth >= 1, "--queue-depth must be >= 1");
   options.queue_capacity = static_cast<std::size_t>(depth);
+  const auto result_cache = cli.get_int(
+      "result-cache",
+      static_cast<std::int64_t>(options.result_cache_capacity),
+      "completed reports kept in the result LRU (per process — sharding "
+      "multiplies the fleet's aggregate cache)");
+  PQS_CHECK_MSG(result_cache >= 1, "--result-cache must be >= 1");
+  options.result_cache_capacity = static_cast<std::size_t>(result_cache);
+  return options;
+}
+
+NetOptions parse_net_flags(Cli& cli, std::string default_listen,
+                           std::size_t default_max_connections,
+                           std::size_t default_inflight_per_conn) {
+  NetOptions options;
+  options.listen = cli.get_string(
+      "listen", default_listen,
+      "TCP listen address host:port (port 0 picks an ephemeral port; empty "
+      "keeps the JSONL-on-stdin process shape)");
+  const auto max_connections = cli.get_int(
+      "max-connections", static_cast<std::int64_t>(default_max_connections),
+      "most concurrent TCP connections admitted; beyond it a connection "
+      "gets one `overloaded` event and is closed");
+  PQS_CHECK_MSG(max_connections >= 1, "--max-connections must be >= 1");
+  options.max_connections = static_cast<std::size_t>(max_connections);
+  const auto inflight = cli.get_int(
+      "inflight-per-conn",
+      static_cast<std::int64_t>(default_inflight_per_conn),
+      "most unanswered submits per connection, rejected with an "
+      "`overloaded` event beyond it (0 = unbounded)");
+  PQS_CHECK_MSG(inflight >= 0, "--inflight-per-conn must be >= 0");
+  options.inflight_per_conn = static_cast<std::size_t>(inflight);
   return options;
 }
 

@@ -1,18 +1,43 @@
-// CLI -> ServiceOptions: the shared service-layer knobs. Every binary that
-// embeds a pqs::Service spells --threads / --queue-depth identically, the
-// same way api/flags.h collapses the request flags — and lives here, not in
+// CLI -> ServiceOptions / NetOptions: the shared service-layer knobs. Every
+// binary that embeds a pqs::Service spells --threads / --queue-depth /
+// --result-cache identically, and every binary that opens a TCP front door
+// (pqs_serve, pqs_router; pqs_loadgen shares the connection-shape knobs)
+// spells --listen / --max-connections / --inflight-per-conn identically —
+// the same way api/flags.h collapses the request flags. Lives here, not in
 // the api layer, so facade-only binaries never pull in the service stack.
 #pragma once
+
+#include <cstddef>
+#include <string>
 
 #include "common/cli.h"
 #include "service/service.h"
 
 namespace pqs::service {
 
-/// Declare and parse --threads (worker pool size) and --queue-depth
-/// (bounded queue capacity) into a ServiceOptions. Call before
-/// cli.finish().
+/// Declare and parse --threads (worker pool size), --queue-depth (bounded
+/// queue capacity), and --result-cache (completed reports kept in the
+/// result LRU) into a ServiceOptions. Call before cli.finish().
 ServiceOptions parse_service_flags(Cli& cli, unsigned default_threads = 2,
                                    std::size_t default_queue_depth = 256);
+
+/// The TCP front-door knobs shared by pqs_serve and pqs_router.
+struct NetOptions {
+  /// "host:port" to listen on; empty means no TCP listener (pqs_serve then
+  /// speaks JSONL on stdin/stdout, its original process shape).
+  std::string listen;
+  /// Most concurrent connections admitted; one past the bound receives a
+  /// single `overloaded` event and is closed — never a silent accept-queue.
+  std::size_t max_connections = 64;
+  /// Most unanswered submits per connection (0 = unbounded); one past the
+  /// bound is rejected with an `overloaded` event naming the cap.
+  std::size_t inflight_per_conn = 256;
+};
+
+/// Declare and parse --listen / --max-connections / --inflight-per-conn.
+/// Call before cli.finish() (unknown flags keep Cli's did-you-mean errors).
+NetOptions parse_net_flags(Cli& cli, std::string default_listen = "",
+                           std::size_t default_max_connections = 64,
+                           std::size_t default_inflight_per_conn = 256);
 
 }  // namespace pqs::service

@@ -195,7 +195,7 @@ JobHandle Service::submit(const SearchSpec& spec, int priority) {
     LockGuard job_lock(job->mutex);
     if (!job->control.cancelled()) {
       ++stats_.submitted;
-      ++stats_.coalesced;
+      ++stats_.coalesced_submits;
       job->attached.fetch_add(1);
       // An urgent caller must not inherit a lazy caller's queue position:
       // if the shared job is still waiting, promote it to the higher
@@ -235,10 +235,16 @@ JobHandle Service::submit(const SearchSpec& spec, int priority) {
   if (queue_.size() >= options_.queue_capacity) {
     reap_cancelled_locked();  // cancelled waiters must not hold slots
   }
-  PQS_CHECK_MSG(queue_.size() < options_.queue_capacity,
-                "Service queue is full (" +
-                    std::to_string(options_.queue_capacity) +
-                    " jobs waiting); retry later or raise queue_capacity");
+  if (queue_.size() >= options_.queue_capacity) {
+    // Admission control: overload is rejected HERE, explicitly and
+    // immediately — never absorbed as silent queueing latency. Front-ends
+    // (src/net/session.cpp) map this exact type to an `overloaded` event.
+    ++stats_.rejected;
+    throw OverloadedError("Service queue is full (" +
+                          std::to_string(options_.queue_capacity) +
+                          " jobs waiting); retry later or raise "
+                          "queue_capacity");
+  }
   ++stats_.submitted;  // after the capacity check: rejects are not accepts
   auto job = std::make_shared<Job>();
   job->spec = std::move(canonical);
@@ -258,8 +264,26 @@ std::size_t Service::queue_depth() const {
 }
 
 ServiceStats Service::stats() const {
+  ServiceStats stats;
+  {
+    LockGuard lock(mutex_);
+    stats = stats_;
+    stats.result_cache_evictions = results_.evictions();
+    stats.result_cache_size = results_.size();
+  }
+  // The Planner synchronizes itself; read it outside mutex_ so the two
+  // locks never nest (there is no invariant tying the snapshots together).
+  const Planner& planner = engine_.planner();
+  stats.plan_cache_hits = planner.hits();
+  stats.plan_cache_misses = planner.misses();
+  stats.plan_cache_evictions = planner.evictions();
+  stats.plan_cache_size = planner.size();
+  return stats;
+}
+
+StageHistograms Service::latency_histograms() const {
   LockGuard lock(mutex_);
-  return stats_;
+  return latency_;
 }
 
 void Service::reap_cancelled_locked() {
@@ -355,6 +379,9 @@ void Service::finish(const std::shared_ptr<Job>& job, JobStatus status,
       case JobStatus::kDone:
         ++stats_.done;
         results_.put(job->key, report);
+        latency_.queue.record(report.queue_ns);
+        latency_.plan.record(report.plan_ns);
+        latency_.exec.record(report.exec_ns);
         break;
       case JobStatus::kCancelled:
         ++stats_.cancelled;

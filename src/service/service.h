@@ -42,6 +42,8 @@
 #include <vector>
 
 #include "api/engine.h"
+#include "common/check.h"
+#include "common/histogram.h"
 #include "common/lru.h"
 #include "common/thread_annotations.h"
 #include "common/timing.h"
@@ -52,6 +54,15 @@ namespace pqs {
 enum class JobStatus { kQueued, kRunning, kDone, kCancelled, kFailed };
 
 std::string_view to_string(JobStatus status);
+
+/// Thrown by submit() when the bounded queue is at capacity. A distinct type
+/// (not a generic CheckFailure) because overload is the one submit failure a
+/// front-end must map to an explicit `overloaded` rejection event instead of
+/// a request error — admission control is load signaling, not a bug report.
+class OverloadedError : public CheckFailure {
+ public:
+  explicit OverloadedError(const std::string& what) : CheckFailure(what) {}
+};
 
 struct ServiceOptions {
   /// Worker threads executing jobs (>= 1).
@@ -66,14 +77,40 @@ struct ServiceOptions {
 };
 
 /// Monotonic counters of one Service (a deployment's dashboard numbers).
+/// stats() also fills in the cache-layer counters that live inside the
+/// Planner and the result LRU, so one snapshot answers the whole `stats` op.
 struct ServiceStats {
-  std::uint64_t submitted = 0;   ///< submit() calls accepted
-  std::uint64_t coalesced = 0;   ///< submits attached to an in-flight job
-  std::uint64_t cache_hits = 0;  ///< submits served from the result cache
-  std::uint64_t executed = 0;    ///< jobs a worker actually ran
+  std::uint64_t submitted = 0;          ///< submit() calls accepted
+  std::uint64_t coalesced_submits = 0;  ///< submits attached to an in-flight job
+  std::uint64_t cache_hits = 0;   ///< submits served from the result cache
+  std::uint64_t rejected = 0;     ///< submits refused by the bounded queue
+  std::uint64_t executed = 0;     ///< jobs a worker actually ran
   std::uint64_t done = 0;
   std::uint64_t cancelled = 0;
   std::uint64_t failed = 0;
+  // -- surfaced cache counters (origin: api/planner.h and common/lru.h) --
+  std::uint64_t plan_cache_hits = 0;
+  std::uint64_t plan_cache_misses = 0;
+  std::uint64_t plan_cache_evictions = 0;
+  std::uint64_t plan_cache_size = 0;
+  std::uint64_t result_cache_evictions = 0;
+  std::uint64_t result_cache_size = 0;
+
+  /// Fraction of accepted submits that attached to an in-flight execution.
+  double coalescing_hit_rate() const {
+    return submitted == 0 ? 0.0
+                          : static_cast<double>(coalesced_submits) /
+                                static_cast<double>(submitted);
+  }
+};
+
+/// Per-stage latency distributions of the jobs this Service executed,
+/// recorded from the SearchReport timing split at completion (cache-served
+/// repeats execute nothing and are deliberately not recorded).
+struct StageHistograms {
+  LogHistogram queue;  ///< queue_ns: time waiting for a worker
+  LogHistogram plan;   ///< plan_ns: schedule search (~0 on plan-cache hits)
+  LogHistogram exec;   ///< exec_ns: the algorithm itself
 };
 
 namespace detail {
@@ -173,6 +210,9 @@ class Service {
   /// Jobs waiting in the queue right now.
   std::size_t queue_depth() const;
   ServiceStats stats() const;
+  /// Snapshot of the per-stage latency histograms (copies; the live ones
+  /// keep accumulating).
+  StageHistograms latency_histograms() const;
   const Engine& engine() const { return engine_; }
   const ServiceOptions& options() const { return options_; }
 
@@ -203,6 +243,7 @@ class Service {
       PQS_GUARDED_BY(mutex_);
   LruMap<std::string, SearchReport> results_ PQS_GUARDED_BY(mutex_);
   ServiceStats stats_ PQS_GUARDED_BY(mutex_);
+  StageHistograms latency_ PQS_GUARDED_BY(mutex_);
   std::uint64_t next_seq_ PQS_GUARDED_BY(mutex_) = 0;
   bool stopping_ PQS_GUARDED_BY(mutex_) = false;
 

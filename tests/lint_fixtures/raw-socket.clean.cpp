@@ -1,0 +1,20 @@
+// Golden fixture: speaking through the net layer — and names that merely
+// resemble socket calls — must stay quiet under the raw-socket rule.
+#include <functional>
+
+#include "net/socket.h"
+
+namespace asio {
+int bind(int, int);
+}
+
+int open_a_door_properly() {
+  // The approved path: the net layer owns the raw calls.
+  pqs::net::Socket conn = pqs::net::connect_to({"127.0.0.1", 7401});
+  conn.shutdown_both();
+
+  // Qualified names from other namespaces are not POSIX entry points.
+  const int bound = asio::bind(1, 2);
+  auto f = std::bind([](int x) { return x; }, bound);
+  return f();
+}

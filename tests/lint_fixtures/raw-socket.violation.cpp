@@ -1,0 +1,9 @@
+// Golden fixture: raw POSIX socket calls outside src/net/ must trip the
+// raw-socket rule (this file pretends to be a tool, not the net layer).
+#include <sys/socket.h>
+
+int open_a_door() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);  // violation
+  ::listen(fd, 16);                                  // violation
+  return ::accept(fd, nullptr, nullptr);             // violation
+}

@@ -1,0 +1,132 @@
+// pqs::LogHistogram: bucket geometry (exact small values, <= 25% relative
+// bucket width above), quantile estimates that never overshoot the data,
+// shard merging, and the canonical JSON the `stats` op embeds.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "common/histogram.h"
+#include "common/random.h"
+
+namespace pqs {
+namespace {
+
+TEST(LogHistogramTest, SmallValuesGetExactBuckets) {
+  for (std::uint64_t v = 0; v < 8; ++v) {
+    EXPECT_EQ(LogHistogram::bucket_index(v), v);
+    EXPECT_EQ(LogHistogram::bucket_lower(v), v);
+  }
+}
+
+TEST(LogHistogramTest, BucketLowerIsTheFloorOfItsBucket) {
+  Rng rng(99);
+  for (int i = 0; i < 20000; ++i) {
+    // Log-uniform probe values so every octave gets exercised.
+    const int shift = static_cast<int>(rng.uniform_below(64));
+    const std::uint64_t value = rng.next() >> shift;
+    const std::size_t index = LogHistogram::bucket_index(value);
+    ASSERT_LT(index, LogHistogram::kBuckets);
+    EXPECT_LE(LogHistogram::bucket_lower(index), value);
+    if (index + 1 < LogHistogram::kBuckets) {
+      EXPECT_GT(LogHistogram::bucket_lower(index + 1), value);
+    }
+  }
+}
+
+TEST(LogHistogramTest, RelativeBucketWidthIsAtMostAQuarter) {
+  for (std::size_t i = 8; i + 1 < LogHistogram::kBuckets; ++i) {
+    const std::uint64_t lo = LogHistogram::bucket_lower(i);
+    const std::uint64_t hi = LogHistogram::bucket_lower(i + 1);
+    // Every log-spaced bucket spans a quarter of its octave's base, which
+    // is at most 25% of its own lower bound: a percentile read from a
+    // bucket floor is never more than 25% below the true sample.
+    EXPECT_GT(hi, lo) << "bucket " << i;
+    EXPECT_LE((hi - lo) * 4, lo) << "bucket " << i;
+  }
+}
+
+TEST(LogHistogramTest, ExtremesLand) {
+  const std::uint64_t top = std::numeric_limits<std::uint64_t>::max();
+  EXPECT_LT(LogHistogram::bucket_index(top), LogHistogram::kBuckets);
+  LogHistogram h;
+  h.record(0);
+  h.record(top);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.max(), top);
+  EXPECT_EQ(h.percentile(1.0), top);  // exact max, not a bucket floor
+}
+
+TEST(LogHistogramTest, PercentilesNeverOvershootAndNeverLagFar) {
+  LogHistogram h;
+  for (std::uint64_t v = 1; v <= 10000; ++v) {
+    h.record(v * 1000);  // 1ms .. 10s in us-ish units
+  }
+  for (const double q : {0.5, 0.9, 0.99}) {
+    const auto truth = static_cast<std::uint64_t>(q * 10000) * 1000;
+    const std::uint64_t estimate = h.percentile(q);
+    EXPECT_LE(estimate, truth) << "q=" << q;  // bucket floors err low...
+    EXPECT_GE(estimate, truth - truth / 4) << "q=" << q;  // ...by <= 25%
+  }
+  EXPECT_LE(h.percentile(0.0), 1000u);  // min's bucket floor, erring low
+  EXPECT_GE(h.percentile(0.0), 750u);
+  EXPECT_EQ(h.percentile(1.0), 10000000u);  // exact max
+}
+
+TEST(LogHistogramTest, EmptyHistogramIsAllZero) {
+  const LogHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.percentile(0.5), 0u);
+  const Json json = h.to_json();
+  EXPECT_EQ(json.at("count").as_uint(), 0u);
+  EXPECT_EQ(json.at("buckets").as_array().size(), 0u);
+}
+
+TEST(LogHistogramTest, MergeMatchesRecordingEverythingInOne) {
+  LogHistogram a;
+  LogHistogram b;
+  LogHistogram all;
+  Rng rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t v = rng.next() >> (i % 50);
+    ((i % 2 == 0) ? a : b).record(v);
+    all.record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_EQ(a.max(), all.max());
+  for (const double q : {0.1, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_EQ(a.percentile(q), all.percentile(q)) << "q=" << q;
+  }
+  EXPECT_EQ(a.to_json().dump(), all.to_json().dump());
+}
+
+TEST(LogHistogramTest, JsonShapeIsCanonical) {
+  LogHistogram h;
+  h.record(3);
+  h.record(3);
+  h.record(100);
+  const Json json = h.to_json();
+  EXPECT_EQ(json.at("count").as_uint(), 3u);
+  EXPECT_EQ(json.at("max").as_uint(), 100u);
+  EXPECT_EQ(json.at("p50").as_uint(), 3u);
+  const auto& buckets = json.at("buckets").as_array();
+  ASSERT_EQ(buckets.size(), 2u);  // only non-empty buckets serialize
+  EXPECT_EQ(buckets[0].as_array()[0].as_uint(), 3u);
+  EXPECT_EQ(buckets[0].as_array()[1].as_uint(), 2u);
+  EXPECT_EQ(buckets[1].as_array()[0].as_uint(), 96u);  // floor(100)'s bucket
+  EXPECT_EQ(buckets[1].as_array()[1].as_uint(), 1u);
+}
+
+TEST(LogHistogramTest, ClearResets) {
+  LogHistogram h;
+  h.record(42);
+  h.clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.to_json().at("buckets").as_array().size(), 0u);
+}
+
+}  // namespace
+}  // namespace pqs

@@ -162,7 +162,7 @@ TEST(ServiceCoalescingTest, SixtyFourConcurrentIdenticalSubmitsRunOnce) {
   }
   const ServiceStats stats = service.stats();
   EXPECT_EQ(stats.submitted, 64u);
-  EXPECT_EQ(stats.coalesced + stats.cache_hits, 63u);
+  EXPECT_EQ(stats.coalesced_submits + stats.cache_hits, 63u);
   EXPECT_EQ(stats.executed, 1u);
   EXPECT_EQ(stats.done, 1u);
 }
@@ -209,7 +209,7 @@ TEST(ServiceCancelTest, CoalescedCancelDetachesOnlyThatCaller) {
   const SearchSpec spec = test_spec("gated", 5);
   JobHandle first = service.submit(spec);
   JobHandle second = service.submit(spec);
-  EXPECT_EQ(service.stats().coalesced, 1u);
+  EXPECT_EQ(service.stats().coalesced_submits, 1u);
   ASSERT_TRUE(wait_until([] { return state().running.load() == 1; }));
 
   first.cancel();

@@ -37,6 +37,13 @@ actually shipped here or is one design decision away from shipping:
                      libgomp — new parallel regions are a reviewed
                      decision, not a drive-by.
 
+  raw-socket         A raw POSIX socket call (`::socket`, `::accept`,
+                     `::bind`, `::listen`, `::connect`, ...) outside
+                     src/net/. The net layer decides partial writes, EINTR,
+                     SIGPIPE suppression, and shutdown-to-unblock ONCE
+                     (src/net/socket.h); a drive-by socket call elsewhere
+                     reopens every one of those bug classes.
+
 Usage:
   tools/pqs_lint.py [--root DIR]      lint the tree (src/ tools/ examples/
                                       bench/); exit 1 on any violation
@@ -316,6 +323,29 @@ def check_bare_mutex(rel, raw, stripped):
     return violations
 
 
+# The ::-qualified POSIX socket entry points. The lookbehind keeps
+# namespace-qualified names (pqs::net::connect_to, asio::bind) out of it.
+SOCKET_RE = re.compile(
+    r"(?<![\w:])::\s*(socket|accept4?|bind|listen|connect|recv|recvfrom|"
+    r"send|sendto|setsockopt|getsockopt|getsockname|getaddrinfo|shutdown)"
+    r"\s*\(")
+
+
+def check_raw_socket(rel, raw, stripped):
+    del raw
+    if rel.startswith("src/net/"):
+        return []
+    violations = []
+    for match in SOCKET_RE.finditer(stripped):
+        line = stripped.count("\n", 0, match.start()) + 1
+        violations.append(Violation(
+            rel, line, "raw-socket",
+            f"raw POSIX socket call `::{match.group(1)}(` outside src/net/; "
+            f"use the net layer (src/net/socket.h) so partial writes, "
+            f"EINTR, SIGPIPE, and shutdown-to-unblock stay decided once"))
+    return violations
+
+
 def check_omp_pragma(rel, raw, stripped):
     del raw
     if rel in OMP_PRAGMA_ALLOWED:
@@ -337,6 +367,7 @@ RULES = {
     "raw-random": check_raw_random,
     "bare-mutex": check_bare_mutex,
     "omp-pragma": check_omp_pragma,
+    "raw-socket": check_raw_socket,
 }
 
 

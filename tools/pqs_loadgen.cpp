@@ -1,0 +1,281 @@
+// pqs_loadgen — replay client and load generator for the JSONL-over-TCP
+// protocol (pqs_serve --listen, or pqs_router fronting a worker fleet).
+//
+// Two modes:
+//
+//   * fixture replay (--fixture FILE): send every request line from the
+//     file down one connection, read events until every request's ack and
+//     every accepted submit's result have arrived, and print ONLY the
+//     result event lines to stdout. That stream is the byte-determinism
+//     probe: at fixed seeds it must be identical whether the endpoint is
+//     one direct worker or a router sharding across N — CI diffs it.
+//
+//   * bench (--clients C --requests N): C client threads, each with its own
+//     connection, each keeping up to --inflight-per-conn submits unanswered
+//     (windowed pipelining). Submits draw from --unique-keys distinct specs
+//     so the fleet's shard-local result caches can be exercised above and
+//     below their aggregate capacity. Prints one JSON summary line —
+//     throughput, rejection counts, client-side latency percentiles from
+//     common/histogram.h — which scripts/bench_net_serve.sh collects into
+//     BENCH_qsim.json's net_serve section.
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+#include "common/cli.h"
+#include "common/histogram.h"
+#include "common/json.h"
+#include "common/random.h"
+#include "common/timing.h"
+#include "net/socket.h"
+#include "service/flags.h"
+
+namespace {
+
+using namespace pqs;
+
+int run_fixture(const net::Addr& endpoint, const std::string& fixture_path) {
+  std::ifstream fixture(fixture_path);
+  PQS_CHECK_MSG(fixture.good(), "cannot open fixture " + fixture_path);
+  net::Socket socket =
+      net::connect_with_retry(endpoint, std::chrono::milliseconds(5000));
+
+  std::size_t requests = 0;
+  std::string line;
+  while (std::getline(fixture, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    PQS_CHECK_MSG(socket.write_all(line + "\n"),
+                  "server closed the connection mid-replay");
+    ++requests;
+  }
+
+  // Every request line is answered by exactly one synchronous ack; every
+  // `accepted` ack promises exactly one later `result`. Those two protocol
+  // invariants make "done" a pure count, no sleeps or timeouts.
+  std::size_t acks = 0;
+  std::size_t accepted = 0;
+  std::size_t results = 0;
+  net::LineReader reader(socket);
+  while ((acks < requests || results < accepted) && reader.next_line(line)) {
+    const Json event = Json::parse(line);
+    const std::string& kind = event.at("event").as_string();
+    if (kind == "result") {
+      std::cout << line << "\n";
+      ++results;
+    } else {
+      if (kind == "accepted") {
+        ++accepted;
+      }
+      ++acks;
+    }
+  }
+  std::cout << std::flush;
+  PQS_CHECK_MSG(acks == requests && results == accepted,
+                "connection closed early: " + std::to_string(acks) + "/" +
+                    std::to_string(requests) + " acks, " +
+                    std::to_string(results) + "/" + std::to_string(accepted) +
+                    " results");
+  std::cerr << "pqs_loadgen: " << requests << " requests, " << accepted
+            << " accepted, " << results << " results\n";
+  return 0;
+}
+
+struct BenchConfig {
+  net::Addr endpoint;
+  std::size_t clients = 64;
+  std::size_t requests = 100000;  ///< total across all clients
+  std::size_t unique_keys = 1024;
+  std::size_t window = 256;  ///< unanswered submits per connection
+  std::uint64_t n_items = 1024;
+  std::uint64_t shots = 1;
+  std::uint64_t seed = 1;
+};
+
+struct ClientTally {
+  std::size_t accepted = 0;
+  std::size_t rejected = 0;
+  std::size_t errors = 0;
+  std::size_t results = 0;
+  LogHistogram latency_ns;
+};
+
+/// One bench connection: windowed pipelining, FIFO ack pairing, per-request
+/// latency measured submit-to-result on the client side.
+void run_client(const BenchConfig& config, std::size_t client_index,
+                std::size_t n_requests, ClientTally& tally) {
+  net::Socket socket = net::connect_with_retry(config.endpoint,
+                                               std::chrono::milliseconds(5000));
+  net::LineReader reader(socket);
+  Rng rng(config.seed * 1000003 + client_index);
+  Stopwatch clock;
+  std::unordered_map<std::string, std::uint64_t> send_ns;
+  std::deque<std::string> awaiting_ack;  // ids in send order (FIFO acks)
+
+  std::size_t sent = 0;
+  auto settled = [&] {
+    return tally.results + tally.rejected + tally.errors;
+  };
+  std::string line;
+  while (settled() < n_requests) {
+    if (sent < n_requests && sent - settled() < config.window) {
+      const std::string id =
+          "c" + std::to_string(client_index) + "-" + std::to_string(sent);
+      // unique_keys distinct (marked, seed) pairs: equal key -> equal
+      // canonical key -> same shard, same coalescing bucket, same LRU slot.
+      const std::uint64_t key = rng.uniform_below(config.unique_keys);
+      Json spec = Json::make_object();
+      spec["algorithm"] = std::string("grover");
+      spec["n_items"] = config.n_items;
+      spec["n_blocks"] = std::uint64_t{1};
+      Json marked = Json::make_array();
+      marked.push_back(key % config.n_items);
+      spec["marked"] = std::move(marked);
+      spec["seed"] = config.seed + key;
+      spec["shots"] = config.shots;
+      Json request = Json::make_object();
+      request["op"] = std::string("submit");
+      request["id"] = id;
+      request["spec"] = std::move(spec);
+      if (!socket.write_all(request.dump() + "\n")) {
+        break;
+      }
+      send_ns.emplace(id, clock.nanos());
+      awaiting_ack.push_back(id);
+      ++sent;
+      continue;
+    }
+    if (!reader.next_line(line)) {
+      break;
+    }
+    const Json event = Json::parse(line);
+    const std::string& kind = event.at("event").as_string();
+    if (kind == "result") {
+      const std::string& id = event.at("id").as_string();
+      const auto it = send_ns.find(id);
+      PQS_CHECK_MSG(it != send_ns.end(), "result for unknown id " + id);
+      tally.latency_ns.record(clock.nanos() - it->second);
+      send_ns.erase(it);
+      ++tally.results;
+    } else {
+      PQS_CHECK_MSG(!awaiting_ack.empty(), "unpaired ack: " + line);
+      const std::string acked = std::move(awaiting_ack.front());
+      awaiting_ack.pop_front();
+      if (kind == "accepted") {
+        ++tally.accepted;
+      } else if (kind == "overloaded") {
+        send_ns.erase(acked);
+        ++tally.rejected;
+      } else {
+        send_ns.erase(acked);
+        ++tally.errors;
+      }
+    }
+  }
+  PQS_CHECK_MSG(settled() == n_requests,
+                "client " + std::to_string(client_index) +
+                    " lost its connection after " + std::to_string(settled()) +
+                    "/" + std::to_string(n_requests) + " requests");
+}
+
+int run_bench(const BenchConfig& config) {
+  std::vector<ClientTally> tallies(config.clients);
+  std::vector<std::thread> threads;
+  threads.reserve(config.clients);
+  Stopwatch clock;
+  for (std::size_t c = 0; c < config.clients; ++c) {
+    // Spread the remainder so the totals add up to exactly `requests`.
+    const std::size_t share = config.requests / config.clients +
+                              (c < config.requests % config.clients ? 1 : 0);
+    threads.emplace_back(
+        [&config, c, share, &tallies] { run_client(config, c, share, tallies[c]); });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  const double elapsed = clock.seconds();
+
+  ClientTally total;
+  for (const ClientTally& tally : tallies) {
+    total.accepted += tally.accepted;
+    total.rejected += tally.rejected;
+    total.errors += tally.errors;
+    total.results += tally.results;
+    total.latency_ns.merge(tally.latency_ns);
+  }
+  Json summary = Json::make_object();
+  summary["clients"] = std::uint64_t{config.clients};
+  summary["requests"] = std::uint64_t{config.requests};
+  summary["unique_keys"] = std::uint64_t{config.unique_keys};
+  summary["window"] = std::uint64_t{config.window};
+  summary["n_items"] = config.n_items;
+  summary["accepted"] = std::uint64_t{total.accepted};
+  summary["rejected"] = std::uint64_t{total.rejected};
+  summary["errors"] = std::uint64_t{total.errors};
+  summary["results"] = std::uint64_t{total.results};
+  summary["elapsed_seconds"] = elapsed;
+  summary["throughput_rps"] =
+      elapsed > 0 ? static_cast<double>(total.results) / elapsed : 0.0;
+  Json latency = Json::make_object();
+  latency["p50"] = total.latency_ns.percentile(0.50) / 1e6;
+  latency["p90"] = total.latency_ns.percentile(0.90) / 1e6;
+  latency["p99"] = total.latency_ns.percentile(0.99) / 1e6;
+  latency["max"] = static_cast<double>(total.latency_ns.max()) / 1e6;
+  summary["latency_ms"] = std::move(latency);
+  std::cout << summary.dump() << "\n" << std::flush;
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  // The shared connection-shape knobs: --inflight-per-conn is the
+  // pipelining window here — the client-side mirror of the server cap.
+  const service::NetOptions net_options = service::parse_net_flags(cli);
+  const std::string connect = cli.get_string(
+      "connect", "", "endpoint to drive, host:port (pqs_serve or pqs_router)");
+  const std::string fixture = cli.get_string(
+      "fixture", "",
+      "JSONL request file to replay verbatim; prints result lines to stdout");
+  BenchConfig config;
+  config.clients = static_cast<std::size_t>(
+      cli.get_int("clients", 64, "bench: concurrent client connections"));
+  config.requests = static_cast<std::size_t>(cli.get_int(
+      "requests", 100000, "bench: total submits across all clients"));
+  config.unique_keys = static_cast<std::size_t>(cli.get_int(
+      "unique-keys", 1024,
+      "bench: distinct canonical keys the submits draw from (cache working "
+      "set)"));
+  config.n_items = static_cast<std::uint64_t>(
+      cli.get_int("n-items", 1024, "bench: search-space size per submit"));
+  config.shots = static_cast<std::uint64_t>(
+      cli.get_int("shots", 1, "bench: measurement shots per submit"));
+  config.seed = static_cast<std::uint64_t>(
+      cli.get_int("seed", 1, "bench: base RNG seed (keys and spec seeds)"));
+  if (cli.help_requested()) {
+    std::cout << cli.help();
+    return 0;
+  }
+  cli.finish();
+  PQS_CHECK_MSG(!connect.empty(), "pqs_loadgen needs --connect host:port");
+  config.endpoint = net::parse_hostport(connect);
+  config.window = net_options.inflight_per_conn == 0
+                      ? 256
+                      : net_options.inflight_per_conn;
+  PQS_CHECK_MSG(config.clients >= 1, "--clients must be >= 1");
+  PQS_CHECK_MSG(config.unique_keys >= 1, "--unique-keys must be >= 1");
+
+  if (!fixture.empty()) {
+    return run_fixture(config.endpoint, fixture);
+  }
+  return run_bench(config);
+}

@@ -1,43 +1,41 @@
-// pqs_serve — the JSONL process front-end of pqs::Service.
+// pqs_serve — the JSONL front-end of pqs::Service, over stdin or TCP.
 //
-// Reads one request object per stdin line, streams one event object per
-// stdout line. This is the process shape a fleet deployment fronts with
-// any RPC framework (or a shell pipe — see the README transcript):
+// Reads one request object per line, streams one event object per line.
+// Without --listen it speaks on stdin/stdout (the original process shape,
+// byte-identical to the PR 5 transport); with --listen host:port it becomes
+// a network worker: every admitted connection runs its own protocol session
+// over the one shared Service, so coalescing and the result LRU span
+// clients. See src/net/session.h for the full protocol contract.
 //
-//   requests (stdin)
+//   requests
 //     {"op":"submit","id":"a","spec":{"algorithm":"grk","n_items":4096,...}}
 //     {"op":"submit","id":"b","spec":{...},"priority":5}
 //     {"op":"cancel","id":"a"}
 //     {"op":"stats","id":"s"}
 //
-//   events (stdout)
+//   events
 //     {"event":"accepted","id":"a"}                        immediate ack
+//     {"event":"overloaded","id":"a","reason":"..."}       admission reject
 //     {"event":"cancelling","id":"a"}                      cancel ack
 //     {"event":"result","id":"a","status":"done","report":{...}}
 //     {"event":"result","id":"a","status":"cancelled"}
 //     {"event":"result","id":"a","status":"failed","error":"..."}
-//     {"event":"stats","id":"s","isa":...,"workers":...}   deployment info
+//     {"event":"stats","id":"s","isa":...,"counters":{...},"latency_ns":...}
 //     {"event":"error","message":"..."}                    bad request line
 //
-// Result events are emitted in SUBMISSION order by a dedicated emitter
-// thread (completion order may differ under a multi-worker pool), and the
-// report payload zeroes the wall-clock timing fields unless --timing is
-// passed — together that makes the stream of result lines a deterministic
-// function of the request file at fixed seeds, which CI diffs byte-for-byte.
-#include <cmath>
-#include <condition_variable>
-#include <deque>
+// Result events are emitted in SUBMISSION order, and the report payload
+// zeroes the wall-clock timing fields unless --timing is passed — together
+// that makes the stream of result lines a deterministic function of the
+// request file at fixed seeds, which CI diffs byte-for-byte (including
+// across shard fleets: see tools/pqs_router.cpp).
+#include <csignal>
 #include <iostream>
-#include <map>
 #include <string>
-#include <thread>
-#include <utility>
 
-#include "api/serialize.h"
-#include "common/check.h"
 #include "common/cli.h"
-#include "common/json.h"
-#include "common/thread_annotations.h"
+#include "net/server.h"
+#include "net/session.h"
+#include "net/socket.h"
 #include "qsim/isa.h"
 #include "service/flags.h"
 #include "service/service.h"
@@ -46,44 +44,48 @@ namespace {
 
 using namespace pqs;
 
-Mutex g_out_mutex;  // serializes whole event lines onto stdout
-
-void emit(const Json& event) {
-  const std::string line = event.dump();
-  LockGuard lock(g_out_mutex);
-  std::cout << line << "\n" << std::flush;
-}
-
-void emit_error(const std::string& message) {
-  Json event = Json::make_object();
-  event["event"] = "error";
-  event["message"] = message;
-  emit(event);
-}
-
-Json result_event(const std::string& id, const JobHandle& handle,
-                  bool with_timing) {
-  const JobStatus status = handle.status();
-  Json event = Json::make_object();
-  event["event"] = "result";
-  event["id"] = id;
-  event["status"] = std::string(to_string(status));
-  if (status == JobStatus::kDone) {
-    SearchReport report = handle.report();
-    if (!with_timing) {
-      // The answer fields are deterministic at fixed seed; these four
-      // describe how the run happened to execute (wall clock, cache
-      // warmth under racing workers) and would break byte-for-byte diffs.
-      report.queue_ns = 0;
-      report.plan_ns = 0;
-      report.exec_ns = 0;
-      report.plan_cache_hit = false;
-    }
-    event["report"] = api::to_json(report);
-  } else if (status == JobStatus::kFailed) {
-    event["error"] = handle.error();
+/// stdin/stdout mode: one session, drain on EOF (the pipe is done but the
+/// reader still wants every result it was promised).
+int run_stdio(Service& service, const net::SessionOptions& session_options) {
+  net::Session session(
+      service,
+      [](const std::string& line) {
+        std::cout << line << "\n" << std::flush;
+        return static_cast<bool>(std::cout);
+      },
+      session_options);
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    session.handle_line(line);
   }
-  return event;
+  session.drain();
+  return 0;
+}
+
+/// TCP mode: serve until SIGINT/SIGTERM.
+volatile std::sig_atomic_t g_stop = 0;
+
+int run_listen(Service& service, const service::NetOptions& net_options,
+               const net::SessionOptions& session_options) {
+  net::NetServerOptions options;
+  options.listen = net::parse_hostport(net_options.listen);
+  options.max_connections = net_options.max_connections;
+  options.session = session_options;
+  net::NetServer server(service, options);
+  server.start();
+  std::cerr << "pqs_serve: listening on " << options.listen.host << ":"
+            << server.port() << "\n";
+
+  std::signal(SIGINT, [](int) { g_stop = 1; });
+  std::signal(SIGTERM, [](int) { g_stop = 1; });
+  sigset_t mask;
+  sigemptyset(&mask);
+  while (g_stop == 0) {
+    sigsuspend(&mask);  // sleep until any signal delivers
+  }
+  std::cerr << "pqs_serve: shutting down\n";
+  server.stop();
+  return 0;
 }
 
 }  // namespace
@@ -91,10 +93,13 @@ Json result_event(const std::string& id, const JobHandle& handle,
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
   const ServiceOptions options = service::parse_service_flags(cli);
-  const bool with_timing = cli.get_bool(
+  const service::NetOptions net_options = service::parse_net_flags(cli);
+  net::SessionOptions session_options;
+  session_options.with_timing = cli.get_bool(
       "timing", false,
       "emit real queue/plan/exec timing in result payloads (off keeps the "
       "output byte-deterministic at fixed seeds)");
+  session_options.inflight_limit = net_options.inflight_per_conn;
   if (cli.help_requested()) {
     std::cout << cli.help();
     return 0;
@@ -104,119 +109,12 @@ int main(int argc, char** argv) {
   Service service(options);
   std::cerr << "pqs_serve: " << options.threads << " worker(s), queue depth "
             << options.queue_capacity << ", kernel ISA "
-            << qsim::isa_name(qsim::active_isa())
-            << "; reading JSONL from stdin\n";
-
-  // Finished jobs are announced in submission order: the emitter walks the
-  // pending list front to back and blocks on each handle in turn. `jobs`
-  // (the cancel index) is shared with the emitter, which prunes each entry
-  // after announcing it — ids are reusable once their result is out, and a
-  // long-lived server does not accumulate one handle per request forever.
-  Mutex pending_mutex;
-  std::condition_variable_any pending_cv;
-  std::deque<std::pair<std::string, JobHandle>> pending;
-  bool input_done = false;
-  std::map<std::string, JobHandle> jobs;
-
-  std::thread emitter([&] {
-    while (true) {
-      UniqueLock lock(pending_mutex);
-      while (!input_done && pending.empty()) {
-        pending_cv.wait(lock);
-      }
-      if (pending.empty()) {
-        return;  // input finished and everything announced
-      }
-      const auto next = std::move(pending.front());
-      pending.pop_front();
-      lock.unlock();
-      next.second.wait();
-      const Json event = result_event(next.first, next.second, with_timing);
-      // Free the id BEFORE the result line goes out: a client that reacts
-      // to the result by reusing the id must never race the erase.
-      lock.lock();
-      jobs.erase(next.first);
-      lock.unlock();
-      emit(event);
-    }
-  });
-  std::string line;
-  while (std::getline(std::cin, line)) {
-    if (line.empty()) {
-      continue;
-    }
-    try {
-      const Json request = Json::parse(line);
-      const std::string& op = request.at("op").as_string();
-      const std::string& id = request.at("id").as_string();
-      if (op == "submit") {
-        {
-          LockGuard lock(pending_mutex);
-          PQS_CHECK_MSG(!jobs.contains(id),
-                        "duplicate in-flight job id \"" + id + "\"");
-        }
-        // as_double accepts both wire number kinds; negative priorities
-        // (below-default urgency) are valid ints but parse as doubles.
-        const int priority =
-            request.has("priority")
-                ? static_cast<int>(
-                      std::llround(request.at("priority").as_double()))
-                : 0;
-        JobHandle handle =
-            service.submit(api::spec_from_json(request.at("spec")), priority);
-        {
-          LockGuard lock(pending_mutex);
-          jobs.emplace(id, handle);
-        }
-        // Ack BEFORE the emitter can see the handle: a cache-served job is
-        // already done, and its result must not precede the accepted event.
-        Json event = Json::make_object();
-        event["event"] = "accepted";
-        event["id"] = id;
-        emit(event);
-        {
-          LockGuard lock(pending_mutex);
-          pending.emplace_back(id, std::move(handle));
-        }
-        pending_cv.notify_one();
-      } else if (op == "cancel") {
-        JobHandle target = [&] {
-          LockGuard lock(pending_mutex);
-          const auto it = jobs.find(id);
-          PQS_CHECK_MSG(it != jobs.end(),
-                        "unknown or already-finished job id \"" + id + "\"");
-          return it->second;
-        }();
-        target.cancel();
-        Json event = Json::make_object();
-        event["event"] = "cancelling";
-        event["id"] = id;
-        emit(event);
-      } else if (op == "stats") {
-        // Deployment metadata, answered inline (it is not a job): which
-        // kernel tier this node dispatches to, and the pool shape. The CI
-        // fixture does not use it — the isa value is machine-dependent.
-        Json event = Json::make_object();
-        event["event"] = "stats";
-        event["id"] = id;
-        event["isa"] = std::string(qsim::isa_name(qsim::active_isa()));
-        event["workers"] = std::uint64_t{options.threads};
-        event["queue_capacity"] = std::uint64_t{options.queue_capacity};
-        emit(event);
-      } else {
-        emit_error("unknown op \"" + op +
-                   "\" (expected submit | cancel | stats)");
-      }
-    } catch (const std::exception& e) {
-      emit_error(e.what());
-    }
+            << qsim::isa_name(qsim::active_isa()) << "; "
+            << (net_options.listen.empty() ? "reading JSONL from stdin"
+                                           : "JSONL over TCP")
+            << "\n";
+  if (net_options.listen.empty()) {
+    return run_stdio(service, session_options);
   }
-
-  {
-    LockGuard lock(pending_mutex);
-    input_done = true;
-  }
-  pending_cv.notify_all();
-  emitter.join();  // drains every submitted job before the service stops
-  return 0;
+  return run_listen(service, net_options, session_options);
 }
