@@ -1,0 +1,43 @@
+// Fuzz target: the two line-oriented parse edges a deployment exposes.
+//
+//   * net::parse_request — every request line a TCP peer or stdin pipe
+//     sends (src/net/session.h). Contract: the ONLY failure mode is a
+//     thrown CheckFailure.
+//   * Journal::recover_text — every byte a crash may have left in a
+//     write-ahead journal, including torn final lines and foreign files.
+//     Contract: recovery NEVER throws; damage becomes warnings.
+//
+// The input is treated as one journal text (recover_text consumes multiple
+// lines, so embedded newlines exercise the torn-tail scanner) and its
+// first line as one wire request.
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/check.h"
+#include "net/session.h"
+#include "service/journal.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+
+  const std::string line = text.substr(0, text.find('\n'));
+  try {
+    (void)pqs::net::parse_request(line);
+  } catch (const pqs::CheckFailure&) {
+    // malformed request: the sanctioned rejection
+  }
+
+  // No try: anything recover_text lets escape is a durability bug (a
+  // journal that cannot be read back is a journal that lost the jobs).
+  const pqs::RecoveredJournal recovered = pqs::Journal::recover_text(text);
+  if (recovered.pending.size() > recovered.accepted) {
+    __builtin_trap();  // more unfinished jobs than accepted records
+  }
+  return 0;
+}
+
+#ifdef PQS_FUZZ_STANDALONE
+#include "standalone_main.inc"
+#endif

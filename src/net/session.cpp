@@ -47,6 +47,40 @@ Json overloaded_event(const std::string& id, const std::string& reason) {
 
 }  // namespace
 
+Request parse_request(const std::string& line) {
+  const Json request = Json::parse(line);
+  Request parsed;
+  const std::string& op = request.at("op").as_string();
+  if (op == "submit") {
+    parsed.op = Request::Op::kSubmit;
+  } else if (op == "cancel") {
+    parsed.op = Request::Op::kCancel;
+  } else if (op == "stats") {
+    parsed.op = Request::Op::kStats;
+  } else {
+    throw CheckFailure("unknown op \"" + op +
+                       "\" (expected submit | cancel | stats)");
+  }
+  // stats is connection-level: an id is optional there (echoed back when
+  // given, so a multiplexing client can pair the reply). submit/cancel
+  // address jobs and must name one.
+  parsed.id =
+      request.has("id") ? request.at("id").as_string() : std::string();
+  if (parsed.op != Request::Op::kStats && parsed.id.empty()) {
+    throw CheckFailure("\"" + op + "\" requires a non-empty \"id\"");
+  }
+  if (parsed.op == Request::Op::kSubmit) {
+    // as_double accepts both wire number kinds; negative priorities
+    // (below-default urgency) are valid ints but parse as doubles.
+    parsed.priority =
+        request.has("priority")
+            ? static_cast<int>(std::llround(request.at("priority").as_double()))
+            : 0;
+    parsed.spec = api::spec_from_json(request.at("spec"));
+  }
+  return parsed;
+}
+
 Session::Session(Service& service, WriteLine write_line,
                  SessionOptions options)
     : service_(service), options_(options) {
@@ -153,18 +187,9 @@ void Session::handle_line(const std::string& line) {
     return;
   }
   try {
-    const Json request = Json::parse(line);
-    const std::string& op = request.at("op").as_string();
-    // stats is connection-level: an id is optional there (echoed back when
-    // given, so a multiplexing client can pair the reply). submit/cancel
-    // address jobs and must name one.
-    const std::string id =
-        request.has("id") ? request.at("id").as_string() : std::string();
-    if (op == "submit" || op == "cancel") {
-      PQS_CHECK_MSG(!id.empty(),
-                    "\"" + op + "\" requires a non-empty \"id\"");
-    }
-    if (op == "submit") {
+    const Request request = parse_request(line);
+    const std::string& id = request.id;
+    if (request.op == Request::Op::kSubmit) {
       bool over_cap = false;
       {
         LockGuard lock(mutex_);
@@ -179,17 +204,9 @@ void Session::handle_line(const std::string& line) {
                     " unanswered submits on this connection)"));
         return;
       }
-      // as_double accepts both wire number kinds; negative priorities
-      // (below-default urgency) are valid ints but parse as doubles.
-      const int priority =
-          request.has("priority")
-              ? static_cast<int>(
-                    std::llround(request.at("priority").as_double()))
-              : 0;
       std::optional<JobHandle> handle;
       try {
-        handle = service_.submit(api::spec_from_json(request.at("spec")),
-                                 priority);
+        handle = service_.submit(request.spec, request.priority);
       } catch (const OverloadedError& e) {
         emit(overloaded_event(id, e.what()));
         return;
@@ -209,7 +226,7 @@ void Session::handle_line(const std::string& line) {
         pending_.emplace_back(id, std::move(*handle));
       }
       cv_.notify_one();
-    } else if (op == "cancel") {
+    } else if (request.op == Request::Op::kCancel) {
       JobHandle target = [&] {
         LockGuard lock(mutex_);
         const auto it = jobs_.find(id);
@@ -222,11 +239,8 @@ void Session::handle_line(const std::string& line) {
       event["event"] = "cancelling";
       event["id"] = id;
       emit(event);
-    } else if (op == "stats") {
-      emit(stats_event(id));
     } else {
-      emit_error("unknown op \"" + op +
-                 "\" (expected submit | cancel | stats)");
+      emit(stats_event(id));
     }
   } catch (const std::exception& e) {
     emit_error(e.what());

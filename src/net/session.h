@@ -46,6 +46,24 @@ struct SessionOptions {
   std::size_t inflight_limit = 0;
 };
 
+/// One request line, parsed and validated. Parsing is PURE — no Service,
+/// no I/O, no session state — which is what lets the fuzz target
+/// (fuzz/fuzz_wire_line.cpp) and pqs_replay drive the exact code every
+/// transport runs, without standing a service up.
+struct Request {
+  enum class Op { kSubmit, kCancel, kStats };
+  Op op = Op::kStats;
+  /// Required (non-empty) for submit/cancel; optional echo token for stats.
+  std::string id;
+  int priority = 0;  ///< submit only
+  SearchSpec spec;   ///< submit only; validated by api::spec_from_json
+};
+
+/// Parse one request line. Throws CheckFailure (never anything else, never
+/// UB — fuzz-enforced) on malformed JSON, an unknown op, a missing id, or
+/// an invalid spec.
+Request parse_request(const std::string& line);
+
 class Session {
  public:
   /// Sink for one complete event line (no terminator). Returns false when

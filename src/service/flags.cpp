@@ -53,4 +53,19 @@ NetOptions parse_net_flags(Cli& cli, std::string default_listen,
   return options;
 }
 
+JournalOptions parse_journal_flags(Cli& cli) {
+  JournalOptions options;
+  options.path = cli.get_string(
+      "journal", "",
+      "write-ahead journal path: accepted jobs are durable before they are "
+      "acked, and unfinished ones replay at the next start (empty = no "
+      "journal)");
+  const std::string sync = cli.get_string(
+      "journal-sync", std::string(to_string(options.sync)),
+      "journal fsync policy: none (process-death safe; power loss may lose "
+      "the tail) | always (fsync per record)");
+  options.sync = parse_journal_sync(sync);
+  return options;
+}
+
 }  // namespace pqs::service

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "common/cli.h"
+#include "service/journal.h"
 #include "service/service.h"
 
 namespace pqs::service {
@@ -39,5 +40,16 @@ struct NetOptions {
 NetOptions parse_net_flags(Cli& cli, std::string default_listen = "",
                            std::size_t default_max_connections = 64,
                            std::size_t default_inflight_per_conn = 256);
+
+/// The durability knobs (service/journal.h) shared by pqs_serve and any
+/// future journalling binary.
+struct JournalOptions {
+  /// Write-ahead journal path; empty disables journalling entirely.
+  std::string path;
+  JournalSync sync = JournalSync::kNone;
+};
+
+/// Declare and parse --journal / --journal-sync. Call before cli.finish().
+JournalOptions parse_journal_flags(Cli& cli);
 
 }  // namespace pqs::service

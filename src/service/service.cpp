@@ -3,6 +3,7 @@
 #include "api/serialize.h"
 #include "common/check.h"
 #include "common/timing.h"
+#include "service/journal.h"
 
 namespace pqs {
 
@@ -245,12 +246,19 @@ JobHandle Service::submit(const SearchSpec& spec, int priority) {
                           " jobs waiting); retry later or raise "
                           "queue_capacity");
   }
-  ++stats_.submitted;  // after the capacity check: rejects are not accepts
   auto job = std::make_shared<Job>();
   job->spec = std::move(canonical);
   job->key = key;
   job->priority = priority;
   job->seq = next_seq_++;
+  // Durability before visibility: the accepted record must be on disk
+  // before any caller can observe the job, so the ack a front-end sends
+  // implies the work survives a crash. A failed append throws out of
+  // submit — the job was never accepted, and no counter moved.
+  if (options_.journal) {
+    job->journal_id = options_.journal->append_accepted(job->spec, priority);
+  }
+  ++stats_.submitted;  // after capacity + journal: rejects are not accepts
   job->queued_at.reset();
   inflight_[std::move(key)] = job;  // may replace a fully-cancelled job
   queue_.emplace(std::make_pair(-priority, job->seq), job);
@@ -300,6 +308,13 @@ void Service::reap_cancelled_locked() {
       inflight_.erase(inflight);
     }
     ++stats_.cancelled;
+    if (options_.journal && job->journal_id != 0 && !stopping_) {
+      try {
+        options_.journal->append_completed(job->journal_id,
+                                           JobStatus::kCancelled, nullptr);
+      } catch (const std::exception&) {
+      }
+    }
     {
       LockGuard job_lock(job->mutex);
       job->status = JobStatus::kCancelled;
@@ -391,6 +406,20 @@ void Service::finish(const std::shared_ptr<Job>& job, JobStatus status,
         break;
       default:
         break;
+    }
+    // Completion marker — deliberately suppressed while stopping_, so jobs
+    // a shutdown (or crash) interrupted stay pending in the journal and are
+    // replayed at the next start. Explicit cancels while the service is
+    // live DO land a marker: cancelled work must not resurrect. A marker
+    // write failure only degrades exactly-once to at-least-once (the job
+    // replays; reports are deterministic), so it never takes down a worker.
+    if (options_.journal && job->journal_id != 0 && !stopping_) {
+      try {
+        options_.journal->append_completed(
+            job->journal_id, status,
+            status == JobStatus::kDone ? &report : nullptr);
+      } catch (const std::exception&) {
+      }
     }
   }
   {

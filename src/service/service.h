@@ -51,6 +51,8 @@
 
 namespace pqs {
 
+class Journal;  // service/journal.h — the optional write-ahead journal
+
 enum class JobStatus { kQueued, kRunning, kDone, kCancelled, kFailed };
 
 std::string_view to_string(JobStatus status);
@@ -74,6 +76,13 @@ struct ServiceOptions {
   std::size_t result_cache_capacity = 128;
   /// Bound of the shared Engine's plan cache.
   std::size_t plan_cache_capacity = Planner::kDefaultCapacity;
+  /// Optional write-ahead journal (service/journal.h). When set, every
+  /// fresh execution appends an `accepted` record BEFORE submit returns
+  /// (coalesced attachments and cache hits ride the original record) and a
+  /// completion marker when it settles — except during shutdown, where
+  /// markers are deliberately suppressed so a restart replays the
+  /// interrupted jobs.
+  std::shared_ptr<Journal> journal;
 };
 
 /// Monotonic counters of one Service (a deployment's dashboard numbers).
@@ -126,6 +135,11 @@ struct Job {
   /// Queue position; written only by Service with Service::mutex_ held.
   int priority = 0;
   std::uint64_t seq = 0;
+  /// Journal record id of this execution's `accepted` line (0 = the
+  /// Service has no journal, or the job was served from the result cache
+  /// and executed nothing). Written once in submit() before the job is
+  /// shared; immutable afterwards.
+  std::uint64_t journal_id = 0;
 
   qsim::RunControl control;
   std::atomic<std::uint64_t> attached{0};  ///< live uncancelled handles

@@ -1,0 +1,19 @@
+// Golden fixture: ordinary file I/O — truncating writes, reads, and names
+// that merely contain "app" — must stay quiet under the journal-append rule.
+#include <fcntl.h>
+
+#include <fstream>
+#include <string>
+
+struct Config {
+  std::string app;  // a field named `app` is not an append-mode open
+};
+
+int write_a_report(const char* path) {
+  const int fd = ::open(path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  std::ofstream out(path, std::ios::trunc);
+  std::ifstream in(path, std::ios::binary);
+  // "std::ios::app" in a string or comment is not code either.
+  const std::string doc = "never pass std::ios::app outside the journal";
+  return fd + static_cast<int>(doc.size());
+}

@@ -1,0 +1,13 @@
+// Golden fixture: append-mode opens outside src/service/journal.cpp must
+// trip the journal-append rule (this file pretends to be a drive-by tool
+// writing "just one more line" into a journal).
+#include <fcntl.h>
+
+#include <fstream>
+
+int scribble_on_the_journal(const char* path) {
+  const int fd = ::open(path, O_WRONLY | O_APPEND);       // violation
+  std::ofstream late(path, std::ios::app);                // violation
+  std::ofstream later(path, std::ios_base::app);          // violation
+  return fd;
+}

@@ -44,6 +44,14 @@ actually shipped here or is one design decision away from shipping:
                      (src/net/socket.h); a drive-by socket call elsewhere
                      reopens every one of those bug classes.
 
+  journal-append     An append-mode file open (`O_APPEND`, `std::ios::app`)
+                     outside src/service/journal.cpp. Append-mode writes
+                     are the journal's durability contract — one write(2)
+                     per record, torn-tail recovery, id continuation — and
+                     a second writer appending to any journal file corrupts
+                     exactly the records a crash is supposed to preserve.
+                     All journal writes go through the Journal class.
+
 Usage:
   tools/pqs_lint.py [--root DIR]      lint the tree (src/ tools/ examples/
                                       bench/); exit 1 on any violation
@@ -346,6 +354,32 @@ def check_raw_socket(rel, raw, stripped):
     return violations
 
 
+# The one file allowed to open anything for appending: the journal layer
+# itself (its two ::open calls ARE the durability contract).
+JOURNAL_APPEND_ALLOWED = {
+    "src/service/journal.cpp",
+}
+
+APPEND_OPEN_RE = re.compile(
+    r"\bO_APPEND\b|\b(?:std\s*::\s*)?ios(?:_base)?\s*::\s*app\b")
+
+
+def check_journal_append(rel, raw, stripped):
+    del raw
+    if rel in JOURNAL_APPEND_ALLOWED:
+        return []
+    violations = []
+    for match in APPEND_OPEN_RE.finditer(stripped):
+        line = stripped.count("\n", 0, match.start()) + 1
+        violations.append(Violation(
+            rel, line, "journal-append",
+            "append-mode file open outside src/service/journal.cpp; all "
+            "journal writes must go through the Journal class (one write(2) "
+            "per record, torn-tail recovery, id continuation — a second "
+            "appender corrupts what a crash is supposed to preserve)"))
+    return violations
+
+
 def check_omp_pragma(rel, raw, stripped):
     del raw
     if rel in OMP_PRAGMA_ALLOWED:
@@ -368,6 +402,7 @@ RULES = {
     "bare-mutex": check_bare_mutex,
     "omp-pragma": check_omp_pragma,
     "raw-socket": check_raw_socket,
+    "journal-append": check_journal_append,
 }
 
 

@@ -28,9 +28,16 @@
 // that makes the stream of result lines a deterministic function of the
 // request file at fixed seeds, which CI diffs byte-for-byte (including
 // across shard fleets: see tools/pqs_router.cpp).
+//
+// With --journal <path> the service becomes restart-safe: every accepted
+// job is durable on disk before its ack, and a start replays the jobs a
+// previous process left unfinished — through the ordinary coalescing
+// submit path — before accepting new traffic. --journal-sync picks the
+// fsync policy (see src/service/journal.h for the durability contract).
 #include <csignal>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "common/cli.h"
 #include "net/server.h"
@@ -38,6 +45,7 @@
 #include "net/socket.h"
 #include "qsim/isa.h"
 #include "service/flags.h"
+#include "service/journal.h"
 #include "service/service.h"
 
 namespace {
@@ -92,8 +100,10 @@ int run_listen(Service& service, const service::NetOptions& net_options,
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
-  const ServiceOptions options = service::parse_service_flags(cli);
+  ServiceOptions options = service::parse_service_flags(cli);
   const service::NetOptions net_options = service::parse_net_flags(cli);
+  const service::JournalOptions journal_options =
+      service::parse_journal_flags(cli);
   net::SessionOptions session_options;
   session_options.with_timing = cli.get_bool(
       "timing", false,
@@ -106,6 +116,20 @@ int main(int argc, char** argv) {
   }
   cli.finish();
 
+  // Restart protocol step 1: merge + rotate any pre-crash journal history
+  // and open the fresh journal BEFORE the Service exists, so the very
+  // first accepted job already lands in it.
+  RecoveredJournal recovered;
+  if (!journal_options.path.empty()) {
+    Journal::Opened opened =
+        Journal::recover_and_open(journal_options.path, journal_options.sync);
+    options.journal = std::move(opened.journal);
+    recovered = std::move(opened.recovered);
+    for (const std::string& warning : recovered.warnings) {
+      std::cerr << "pqs_serve: journal: " << warning << "\n";
+    }
+  }
+
   Service service(options);
   std::cerr << "pqs_serve: " << options.threads << " worker(s), queue depth "
             << options.queue_capacity << ", kernel ISA "
@@ -113,8 +137,39 @@ int main(int argc, char** argv) {
             << (net_options.listen.empty() ? "reading JSONL from stdin"
                                            : "JSONL over TCP")
             << "\n";
-  if (net_options.listen.empty()) {
-    return run_stdio(service, session_options);
+
+  // Steps 2–3: resubmit everything the previous process left unfinished
+  // (before any traffic — new submits of equal specs coalesce onto the
+  // replays), make the fresh accepted records durable, drop the history.
+  std::vector<JobHandle> replay_handles;
+  if (options.journal) {
+    service::ReplayOutcome outcome =
+        service::replay_pending(service, recovered.pending);
+    options.journal->sync();
+    Journal::finish_recovery(journal_options.path);
+    for (const std::string& warning : outcome.warnings) {
+      std::cerr << "pqs_serve: journal: " << warning << "\n";
+    }
+    std::cerr << "pqs_serve: journal \"" << journal_options.path << "\" (sync="
+              << to_string(journal_options.sync) << "): " << recovered.completed
+              << " completed record(s), " << outcome.resubmitted
+              << " unfinished job(s) replayed, " << outcome.skipped
+              << " skipped\n";
+    replay_handles = std::move(outcome.handles);
   }
-  return run_listen(service, net_options, session_options);
+
+  int rc;
+  if (net_options.listen.empty()) {
+    rc = run_stdio(service, session_options);
+    // One-shot pipe mode finishes what the journal promised: replayed jobs
+    // complete (and land their markers) before exit. TCP mode skips this —
+    // SIGTERM means stop NOW; interrupted replays stay pending on disk and
+    // simply replay again next start.
+    for (const JobHandle& handle : replay_handles) {
+      handle.wait();
+    }
+  } else {
+    rc = run_listen(service, net_options, session_options);
+  }
+  return rc;
 }
