@@ -47,8 +47,14 @@ Json overloaded_event(const std::string& id, const std::string& reason) {
 
 }  // namespace
 
-Request parse_request(const std::string& line) {
-  const Json request = Json::parse(line);
+namespace {
+
+// Everything except the spec: op, id, priority. Split from parse_request
+// so handle_line can admit (or refuse) a submit BEFORE paying for spec
+// validation — an over-cap submit must cost its peer no more than the cap
+// check, and must answer `overloaded`, not `error`, even when its spec is
+// malformed.
+Request parse_request_header(const Json& request) {
   Request parsed;
   const std::string& op = request.at("op").as_string();
   if (op == "submit") {
@@ -76,6 +82,16 @@ Request parse_request(const std::string& line) {
         request.has("priority")
             ? static_cast<int>(std::llround(request.at("priority").as_double()))
             : 0;
+  }
+  return parsed;
+}
+
+}  // namespace
+
+Request parse_request(const std::string& line) {
+  const Json request = Json::parse(line);
+  Request parsed = parse_request_header(request);
+  if (parsed.op == Request::Op::kSubmit) {
     parsed.spec = api::spec_from_json(request.at("spec"));
   }
   return parsed;
@@ -187,7 +203,8 @@ void Session::handle_line(const std::string& line) {
     return;
   }
   try {
-    const Request request = parse_request(line);
+    const Json json = Json::parse(line);
+    Request request = parse_request_header(json);
     const std::string& id = request.id;
     if (request.op == Request::Op::kSubmit) {
       bool over_cap = false;
@@ -204,6 +221,10 @@ void Session::handle_line(const std::string& line) {
                     " unanswered submits on this connection)"));
         return;
       }
+      // Spec validation only AFTER admission: a peer at its cap cannot
+      // force per-line spec-parse CPU, and its malformed specs still
+      // answer `overloaded` (the cap is the reason it was refused).
+      request.spec = api::spec_from_json(json.at("spec"));
       std::optional<JobHandle> handle;
       try {
         handle = service_.submit(request.spec, request.priority);

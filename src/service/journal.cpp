@@ -38,15 +38,17 @@ JournalSync parse_journal_sync(const std::string& name) {
 
 // ---- append side -----------------------------------------------------------
 
-Journal::Journal(std::string path, JournalSync sync)
+Journal::Journal(std::string path, JournalSync sync, std::uint64_t first_id)
     : path_(std::move(path)), sync_(sync) {
-  // Continue record ids after any history already in the file, so an
-  // accepted/completed pair never collides with a pair from before a
-  // reopen. (The restart protocol rotates history away first, so in the
-  // pqs_serve path the file is always fresh and this scan reads nothing.)
+  // Continue record ids after any history already in the file AND after
+  // `first_id - 1`, so an accepted/completed pair never collides with a
+  // pair from before a reopen. The restart protocol rotates history away
+  // first, so in the pqs_serve path the file is always fresh and the scan
+  // reads nothing — there, `first_id` (the rotated generation's max_id +
+  // 1) is what keeps ids unique across generations.
   const RecoveredJournal existing = recover_file(path_);
   LockGuard lock(mutex_);
-  next_id_ = existing.max_id + 1;
+  next_id_ = std::max(existing.max_id + 1, first_id);
   fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
   PQS_CHECK_MSG(fd_ >= 0, "Journal: cannot open \"" + path_ +
                               "\" for appending: " + std::strerror(errno));
@@ -308,7 +310,14 @@ Journal::Opened Journal::recover_and_open(const std::string& path,
   }
 
   Opened opened;
-  opened.journal = std::make_shared<Journal>(path, sync);
+  // The fresh journal's ids must continue after EVERYTHING parked, not
+  // just after `path`'s (now rotated-away, so empty) contents. If this
+  // recovery itself crashes, the next one concatenates the fresh file's
+  // bytes onto the parked history and parses both generations in ONE
+  // id-space — restarting at 1 would let a new generation's completion
+  // marker erase a different, still-pending old-generation record, losing
+  // an acked job (pinned by ReplayTest.DoubleCrashIdsNeverCollide...).
+  opened.journal = std::make_shared<Journal>(path, sync, merged.max_id + 1);
   opened.recovered = std::move(merged);
   return opened;
 }

@@ -107,10 +107,14 @@ struct RecoveredJournal {
 /// the reverse — recovery is static and lock-free).
 class Journal {
  public:
-  /// Opens (creating if needed) `path` for appending. If the file already
-  /// holds records, record ids continue after the largest present, so
-  /// accepted/completed pairs never collide across reopens.
-  Journal(std::string path, JournalSync sync);
+  /// Opens (creating if needed) `path` for appending. Record ids start at
+  /// max(largest id already in the file + 1, first_id), so accepted/
+  /// completed pairs never collide across reopens — recover_and_open
+  /// passes the merged history's max_id + 1 as `first_id`, keeping ids
+  /// unique even across the rotated-away generation (a double crash
+  /// concatenates generations into one file, and recovery parses them in
+  /// one id-space).
+  Journal(std::string path, JournalSync sync, std::uint64_t first_id = 1);
   ~Journal();
 
   Journal(const Journal&) = delete;

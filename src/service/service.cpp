@@ -255,6 +255,14 @@ JobHandle Service::submit(const SearchSpec& spec, int priority) {
   // before any caller can observe the job, so the ack a front-end sends
   // implies the work survives a crash. A failed append throws out of
   // submit — the job was never accepted, and no counter moved.
+  //
+  // The append runs under mutex_ DELIBERATELY: released first, a same-key
+  // submit could coalesce onto (and be acked against) a job that is not
+  // yet durable. The cost is that every append — a single write(2), plus
+  // one fsync per record under --journal-sync always — stalls all
+  // submits, completions, and stats behind it; kAlways therefore bounds
+  // service-wide submit throughput by disk-flush latency (the documented
+  // trade-off; see README "Durability & replay").
   if (options_.journal) {
     job->journal_id = options_.journal->append_accepted(job->spec, priority);
   }

@@ -241,6 +241,36 @@ TEST(NetAdmissionTest, InflightCapAnswersOverloadedImmediately) {
   server.stop();
 }
 
+TEST(NetAdmissionTest, OverCapSubmitIsRefusedBeforeSpecParsing) {
+  reset_driver_state();
+  Service service({.threads = 1}, net_test_registry());
+  net::NetServer server(
+      service, {.listen = {"127.0.0.1", 0}, .session = {.inflight_limit = 1}});
+  server.start();
+
+  TestClient client(server.port());
+  client.send(submit_line("a", 1));
+  EXPECT_EQ(client.next_ack().at("event").as_string(), "accepted");
+  // A peer at its cap is refused before its spec is even looked at: the
+  // same line that would be a spec error below the cap (no "spec" field)
+  // answers `overloaded` here — the cap is why it was refused, and an
+  // over-cap peer cannot force per-line spec validation.
+  client.send(R"({"op":"submit","id":"b"})");
+  const Json overloaded = client.next_ack();
+  EXPECT_EQ(overloaded.at("event").as_string(), "overloaded");
+  EXPECT_EQ(overloaded.at("id").as_string(), "b");
+  EXPECT_NE(overloaded.at("reason").as_string().find("inflight cap"),
+            std::string::npos);
+
+  g_gate = true;
+  EXPECT_EQ(client.next_result().at("id").as_string(), "a");
+  // Below the cap the missing spec IS an error — admission first changes
+  // only what an over-cap submit costs and answers.
+  client.send(R"({"op":"submit","id":"c"})");
+  EXPECT_EQ(client.next_ack().at("event").as_string(), "error");
+  server.stop();
+}
+
 TEST(NetAdmissionTest, MaxConnectionsRejectsTheExtraConnection) {
   reset_driver_state();
   Service service({.threads = 1}, net_test_registry());
