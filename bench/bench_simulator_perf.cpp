@@ -16,6 +16,10 @@
 //   facade      pqs::Engine::run(SearchSpec) vs the direct module call
 //               (dispatch + validation overhead of the service API) and the
 //               plan cache: cold vs warm Engine::plan on the same key
+//   obs         instrumentation overhead (obs/): the disabled span path
+//               (RunControl with no SpanSink — one null-check per site) vs
+//               no control at all, and the full traced-on vs traced-off
+//               n=16 serve path
 //
 // Results print as a table and are written to BENCH_qsim.json (--json PATH)
 // so CI and regression tooling can diff them.
@@ -416,6 +420,96 @@ int main(int argc, char** argv) {
             << Table::num(mean_queue_ns, 0) << " ns over " << fac_reps
             << " back-to-back jobs\n";
 
+  // -- section 5: observability overhead ------------------------------------
+  // Three rungs of the instrumentation ladder on the same warm grk workload:
+  //   no control    Engine::run without a RunControl — span sites are not
+  //                 even reachable (the pre-obs baseline);
+  //   null sink     Engine::run with a RunControl but no SpanSink — every
+  //                 span site costs exactly one pointer null-check (the
+  //                 DISABLED path, what a --trace-ring=0 deployment pays);
+  //   service off/on the full n=16 serve path with tracing disabled vs the
+  //                 default-on TraceStore — the ENABLED cost of minting,
+  //                 timestamping ~10 spans, and retiring each request.
+  // The true per-request cost (~10 span events of a mutex push + clock read
+  // each) is orders of magnitude below run-to-run scheduler noise on a 4 ms
+  // workload, so the measurement leans on best-of-many INTERLEAVED trials:
+  // alternating the configurations inside one loop decorrelates thermal and
+  // frequency drift that best-of alone cannot filter.
+  const int obs_trials = 7;
+  double obs_no_control_seconds = 1e100;
+  double obs_null_sink_seconds = 1e100;
+  for (int trial = 0; trial < obs_trials; ++trial) {
+    obs_no_control_seconds =
+        std::min(obs_no_control_seconds, best_seconds_per_op(1, fac_reps, [&] {
+                   (void)engine.run(fac_spec);
+                 }));
+    obs_null_sink_seconds =
+        std::min(obs_null_sink_seconds, best_seconds_per_op(1, fac_reps, [&] {
+                   qsim::RunControl control;
+                   (void)engine.run(fac_spec, &control);
+                 }));
+  }
+  const double disabled_overhead =
+      obs_null_sink_seconds / std::max(obs_no_control_seconds, 1e-12) - 1.0;
+
+  // The unambiguous pin on the disabled path: one span SITE with no sink is
+  // a load + branch. Timed directly over 10M calls — the end-to-end diff
+  // above sits inside scheduler noise precisely because this is sub-ns.
+  double disabled_span_ns = 0.0;
+  {
+    qsim::RunControl control;
+    // Launder the pointer each iteration so the compiler cannot hoist the
+    // null check (or delete the loop) — the timed body is the real site.
+    qsim::RunControl* volatile laundered = &control;
+    constexpr int kSpanCalls = 10000000;
+    Stopwatch span_watch;
+    for (int i = 0; i < kSpanCalls; ++i) {
+      laundered->span("bench.noop");
+    }
+    disabled_span_ns = span_watch.seconds() * 1e9 / kSpanCalls;
+  }
+
+  const auto service_trial_seconds = [&](std::size_t trace_capacity) {
+    Service service({.threads = 1, .trace = {.capacity = trace_capacity}});
+    std::vector<JobHandle> handles;
+    handles.reserve(fac_reps);
+    Stopwatch trial_watch;
+    for (int r = 0; r < fac_reps; ++r) {
+      SearchSpec spec = fac_spec;
+      // Distinct seeds: no coalescing, no result-cache hits; a fresh
+      // Service per trial keeps the caches cold across trials too.
+      spec.seed = 70000 + static_cast<std::uint64_t>(r);
+      handles.push_back(service.submit(spec));
+    }
+    for (auto& handle : handles) {
+      handle.wait();
+    }
+    return trial_watch.seconds() / fac_reps;
+  };
+  double obs_service_off_seconds = 1e100;
+  double obs_service_on_seconds = 1e100;
+  for (int trial = 0; trial < obs_trials; ++trial) {
+    obs_service_off_seconds =
+        std::min(obs_service_off_seconds, service_trial_seconds(0));
+    obs_service_on_seconds =
+        std::min(obs_service_on_seconds, service_trial_seconds(256));
+  }
+  const double enabled_overhead =
+      obs_service_on_seconds / std::max(obs_service_off_seconds, 1e-12) - 1.0;
+
+  std::cout << "\nobs (grk, n=" << fac_n << ", " << fac_reps
+            << " requests/trial): engine no-control "
+            << Table::num(obs_no_control_seconds, 6) << " s/req vs null-sink "
+            << Table::num(obs_null_sink_seconds, 6)
+            << " s/req -> disabled-path overhead "
+            << Table::num(disabled_overhead * 100.0, 3)
+            << "% (one null-sink span site: "
+            << Table::num(disabled_span_ns, 3)
+            << " ns)\nservice traced-off " << Table::num(obs_service_off_seconds, 6)
+            << " s/req vs traced-on " << Table::num(obs_service_on_seconds, 6)
+            << " s/req -> enabled-path overhead "
+            << Table::num(enabled_overhead * 100.0, 3) << "%\n";
+
   // -- JSON ----------------------------------------------------------------
   std::ofstream json(json_path);
   json << "{\n  \"bench\": \"qsim\",\n"
@@ -440,6 +534,19 @@ int main(int argc, char** argv) {
        << ", \"warm_request_plan_ns\": " << split.plan_ns
        << ", \"warm_request_exec_ns\": " << split.exec_ns
        << ", \"service_mean_queue_ns\": " << json_num(mean_queue_ns)
+       << "},\n"
+       << "  \"obs\": {\"n\": " << fac_n << ", \"requests\": " << fac_reps
+       << ", \"engine_no_control_seconds_per_request\": "
+       << json_num(obs_no_control_seconds)
+       << ", \"engine_null_sink_seconds_per_request\": "
+       << json_num(obs_null_sink_seconds)
+       << ", \"disabled_overhead_fraction\": " << json_num(disabled_overhead)
+       << ", \"disabled_span_site_ns\": " << json_num(disabled_span_ns)
+       << ", \"service_traced_off_seconds_per_request\": "
+       << json_num(obs_service_off_seconds)
+       << ", \"service_traced_on_seconds_per_request\": "
+       << json_num(obs_service_on_seconds)
+       << ", \"enabled_overhead_fraction\": " << json_num(enabled_overhead)
        << "}\n}\n";
   json.close();
   std::cout << "\nwrote " << json_path << "\n";

@@ -34,8 +34,8 @@ class MultiAlgorithm final : public Algorithm {
     } else {
       const double floor = effective_floor(
           ctx.spec, partial::default_min_success(db.size()));
-      const Plan plan = ctx.planner.schedule(db.size(), ctx.spec.n_blocks,
-                                             floor, db.num_marked());
+      const Plan plan = ctx.planner.schedule(
+          db.size(), ctx.spec.n_blocks, floor, db.num_marked(), ctx.control);
       options.l1 = ctx.spec.l1.value_or(plan.schedule.l1);
       options.l2 = ctx.spec.l2.value_or(plan.schedule.l2);
       report.plan_cache_hit = plan.cache_hit;

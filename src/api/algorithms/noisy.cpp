@@ -43,7 +43,8 @@ class NoisyAlgorithm final : public Algorithm {
           ctx.spec,
           1.0 - 1.0 / std::sqrt(static_cast<double>(db.size())));
       const Plan plan =
-          ctx.planner.schedule(db.size(), ctx.spec.n_blocks, floor);
+          ctx.planner.schedule(db.size(), ctx.spec.n_blocks, floor,
+                               /*n_marked=*/1, ctx.control);
       options.l1 = ctx.spec.l1.value_or(plan.schedule.l1);
       options.l2 = ctx.spec.l2.value_or(plan.schedule.l2);
       report.plan_cache_hit = plan.cache_hit;

@@ -103,9 +103,15 @@ SearchReport Engine::run(const SearchSpec& spec,
 
   Rng rng(spec.seed);
   RunContext ctx{spec, marked, planner_, rng, control};
+  if (control != nullptr) {
+    control->span("engine.run.begin");
+  }
   Stopwatch watch;
   SearchReport report = algorithm.run(ctx);
   const std::uint64_t total_ns = watch.nanos();
+  if (control != nullptr) {
+    control->span("engine.run.end");
+  }
   report.exec_ns = total_ns > report.plan_ns ? total_ns - report.plan_ns : 0;
   report.algorithm = resolved;
   if (report.trials == 0) {

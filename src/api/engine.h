@@ -73,6 +73,12 @@ class Engine {
 
   const Registry& registry() const { return registry_; }
   const Planner& planner() const { return planner_; }
+  /// Re-home the plan cache's hit/miss counters in `registry` (forwarded
+  /// to Planner::bind_metrics). Pre-traffic wiring; pqs::Service calls it
+  /// at construction.
+  void bind_metrics(obs::MetricsRegistry& registry) {
+    planner_.bind_metrics(registry);
+  }
   std::vector<std::string> algorithm_names() const {
     return registry_.names();
   }

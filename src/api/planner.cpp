@@ -5,12 +5,16 @@
 namespace pqs {
 
 Plan Planner::schedule(std::uint64_t n_items, std::uint64_t n_blocks,
-                       double min_success, std::uint64_t n_marked) const {
+                       double min_success, std::uint64_t n_marked,
+                       const qsim::RunControl* control) const {
   const PlanKey key{n_items, n_blocks, n_marked, min_success};
   {
     LockGuard lock(mutex_);
     if (const auto* found = cache_.find(key)) {
-      hits_.fetch_add(1, std::memory_order_relaxed);
+      hits_->add();
+      if (control != nullptr) {
+        control->span("plan.cache_hit");
+      }
       return Plan{*found, /*cache_hit=*/true, 0};
     }
   }
@@ -22,7 +26,10 @@ Plan Planner::schedule(std::uint64_t n_items, std::uint64_t n_blocks,
   const auto schedule =
       partial::optimize_schedule(n_items, n_blocks, min_success, n_marked);
   const std::uint64_t plan_ns = watch.nanos();
-  misses_.fetch_add(1, std::memory_order_relaxed);
+  misses_->add();
+  if (control != nullptr) {
+    control->span("plan.computed");
+  }
 
   LockGuard lock(mutex_);
   const auto& stored = cache_.put(key, schedule);
@@ -49,11 +56,16 @@ void Planner::set_capacity(std::size_t capacity) {
   cache_.set_capacity(capacity);
 }
 
+void Planner::bind_metrics(obs::MetricsRegistry& registry) {
+  hits_ = &registry.counter("plan.cache_hits");
+  misses_ = &registry.counter("plan.cache_misses");
+}
+
 void Planner::clear() {
   LockGuard lock(mutex_);
   cache_.clear();
-  hits_.store(0);
-  misses_.store(0);
+  hits_->reset();
+  misses_->reset();
 }
 
 }  // namespace pqs

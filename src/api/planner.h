@@ -15,12 +15,13 @@
 // expose the counters a deployment watches to size the bound.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 
 #include "common/lru.h"
 #include "common/thread_annotations.h"
+#include "obs/metrics.h"
 #include "partial/optimizer.h"
+#include "qsim/run_control.h"
 
 namespace pqs {
 
@@ -59,11 +60,21 @@ class Planner {
   /// the optimize_schedule search runs OUTSIDE any lock (concurrent misses
   /// on the same key may race to compute; the result is deterministic, so
   /// last-writer-wins is safe and every caller returns the same plan).
+  /// `control`, when given, lands a span event on the request's timeline —
+  /// `plan.cache_hit` or `plan.computed` — so a trace shows where the
+  /// schedule came from.
   Plan schedule(std::uint64_t n_items, std::uint64_t n_blocks,
-                double min_success, std::uint64_t n_marked = 1) const;
+                double min_success, std::uint64_t n_marked = 1,
+                const qsim::RunControl* control = nullptr) const;
 
-  std::uint64_t hits() const { return hits_.load(); }
-  std::uint64_t misses() const { return misses_.load(); }
+  /// Re-home the hit/miss counters in `registry` (as `plan.cache_hits` /
+  /// `plan.cache_misses`), replacing the private fallback counters. Call
+  /// before traffic (Service does, at construction); counts accumulated
+  /// so far stay behind in the fallback.
+  void bind_metrics(obs::MetricsRegistry& registry);
+
+  std::uint64_t hits() const { return hits_->value(); }
+  std::uint64_t misses() const { return misses_->value(); }
   /// Plans dropped by the LRU bound since construction / last clear().
   std::uint64_t evictions() const;
   std::uint64_t size() const;
@@ -74,13 +85,17 @@ class Planner {
 
  private:
   /// Guards the LruMap (which is deliberately lock-free itself — see
-  /// common/lru.h); the hit/miss counters are atomics so a hot cache path
-  /// can bump them outside the critical section.
+  /// common/lru.h); the hit/miss counters are obs::Counters (relaxed
+  /// atomics) so a hot cache path can bump them outside the critical
+  /// section. They default to the private fallback pair and re-home into
+  /// a shared registry via bind_metrics.
   mutable Mutex mutex_;
   mutable LruMap<PlanKey, partial::IntegerOptimum> cache_
       PQS_GUARDED_BY(mutex_);
-  mutable std::atomic<std::uint64_t> hits_{0};
-  mutable std::atomic<std::uint64_t> misses_{0};
+  mutable obs::Counter own_hits_;
+  mutable obs::Counter own_misses_;
+  obs::Counter* hits_ = &own_hits_;
+  obs::Counter* misses_ = &own_misses_;
 };
 
 }  // namespace pqs

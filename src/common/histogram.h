@@ -94,6 +94,23 @@ class LogHistogram {
     return max_;  // unreachable: seen == count_ after the loop
   }
 
+  /// Add `n` observations directly to bucket `index` — the reconstruction
+  /// path (from_json, obs::AtomicHistogram::snapshot) where the original
+  /// values are gone and only their bucketing survives. Does not touch
+  /// max_: callers that know the true max follow with note_max().
+  void add_to_bucket(std::size_t index, std::uint64_t n) {
+    PQS_CHECK_MSG(index < kBuckets, "bucket index out of range");
+    counts_[index] += n;
+    count_ += n;
+  }
+
+  /// Raise max_ to `value` if larger (paired with add_to_bucket above).
+  void note_max(std::uint64_t value) {
+    if (value > max_) {
+      max_ = value;
+    }
+  }
+
   /// Element-wise addition — how loadgen folds per-client shards together.
   void merge(const LogHistogram& other) {
     for (std::size_t i = 0; i < kBuckets; ++i) {
@@ -133,6 +150,30 @@ class LogHistogram {
     }
     json["buckets"] = std::move(buckets);
     return json;
+  }
+
+  /// Inverse of to_json(): rebuild a histogram from its wire form. Bucket
+  /// lowers are mapped back through bucket_index, so a dump produced by any
+  /// node with the same bucket layout round-trips exactly — this is what
+  /// lets pqs_router merge `metrics` snapshots from remote workers without
+  /// ever seeing their raw samples. Percentile fields are recomputed, not
+  /// trusted. Throws CheckFailure on a malformed dump.
+  static LogHistogram from_json(const Json& json) {
+    LogHistogram histogram;
+    for (const Json& entry : json.at("buckets").as_array()) {
+      const Json::Array& pair = entry.as_array();
+      PQS_CHECK_MSG(pair.size() == 2, "histogram bucket wants [lower, count]");
+      const std::uint64_t lower = pair[0].as_uint();
+      const std::uint64_t n = pair[1].as_uint();
+      const std::size_t index = bucket_index(lower);
+      PQS_CHECK_MSG(bucket_lower(index) == lower,
+                    "histogram bucket lower is not a bucket boundary");
+      histogram.add_to_bucket(index, n);
+    }
+    PQS_CHECK_MSG(histogram.count_ == json.at("count").as_uint(),
+                  "histogram bucket counts disagree with total");
+    histogram.note_max(json.at("max").as_uint());
+    return histogram;
   }
 
  private:

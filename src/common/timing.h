@@ -34,4 +34,12 @@ class Stopwatch {
   Clock::time_point start_;
 };
 
+/// The sanctioned "now" for deadline arithmetic (JobHandle::wait_for and
+/// friends). Everything that reads a clock goes through common/timing or
+/// obs/trace — pqs_lint's raw-clock rule rejects direct *_clock::now()
+/// calls elsewhere, so trace tests can fake time in one place.
+inline std::chrono::steady_clock::time_point steady_now() {
+  return std::chrono::steady_clock::now();
+}
+
 }  // namespace pqs

@@ -69,13 +69,24 @@ void Acceptor::accept_loop() {
       event["reason"] = "max connections (" +
                         std::to_string(options_.max_connections) + ") reached";
       socket.write_all(event.dump() + "\n");
+      if (options_.metrics != nullptr) {
+        options_.metrics->counter("net.rejected_connections").add();
+      }
       continue;  // socket closes here (RAII)
+    }
+    if (options_.metrics != nullptr) {
+      options_.metrics->counter("net.accepted_connections").add();
     }
     auto conn = std::make_shared<Conn>();
     conn->socket = std::move(socket);
     conns_.push_back(conn);
     conn->thread = std::thread([this, conn] {
       handler_(conn->socket);
+      // One disconnect per admitted connection, counted when the handler
+      // returns — EOF, error, and server-stop all end here.
+      if (options_.metrics != nullptr) {
+        options_.metrics->counter("net.disconnects").add();
+      }
       conn->done.store(true);
     });
   }
@@ -112,7 +123,8 @@ void Acceptor::stop() {
 
 NetServer::NetServer(Service& service, NetServerOptions options)
     : acceptor_(
-          AcceptorOptions{options.listen, options.max_connections},
+          AcceptorOptions{options.listen, options.max_connections,
+                          options.metrics},
           [&service, session_options = options.session](Socket& socket) {
             Session session(
                 service,

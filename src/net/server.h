@@ -31,6 +31,7 @@
 #include "common/thread_annotations.h"
 #include "net/session.h"
 #include "net/socket.h"
+#include "obs/metrics.h"
 #include "service/service.h"
 
 namespace pqs::net {
@@ -39,6 +40,10 @@ struct AcceptorOptions {
   Addr listen;  ///< port 0 picks an ephemeral port; see Acceptor::port()
   /// Most concurrent connections admitted (the bounded-accept knob).
   std::size_t max_connections = 64;
+  /// When set, the accept loop counts `net.accepted_connections`,
+  /// `net.rejected_connections`, and `net.disconnects` here (pqs_serve
+  /// passes the global registry; null keeps the transport metrics-free).
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class Acceptor {
@@ -88,6 +93,8 @@ struct NetServerOptions {
   Addr listen;
   std::size_t max_connections = 64;
   SessionOptions session;
+  /// Forwarded to AcceptorOptions::metrics.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// A pqs::Service behind a TCP listener: one net::Session per connection.

@@ -63,16 +63,22 @@ Request parse_request_header(const Json& request) {
     parsed.op = Request::Op::kCancel;
   } else if (op == "stats") {
     parsed.op = Request::Op::kStats;
+  } else if (op == "metrics") {
+    parsed.op = Request::Op::kMetrics;
+  } else if (op == "trace") {
+    parsed.op = Request::Op::kTrace;
   } else {
     throw CheckFailure("unknown op \"" + op +
-                       "\" (expected submit | cancel | stats)");
+                       "\" (expected submit | cancel | stats | metrics | "
+                       "trace)");
   }
-  // stats is connection-level: an id is optional there (echoed back when
-  // given, so a multiplexing client can pair the reply). submit/cancel
-  // address jobs and must name one.
+  // stats/metrics are connection-level: an id is optional there (echoed
+  // back when given, so a multiplexing client can pair the reply).
+  // submit/cancel/trace address jobs and must name one.
   parsed.id =
       request.has("id") ? request.at("id").as_string() : std::string();
-  if (parsed.op != Request::Op::kStats && parsed.id.empty()) {
+  if (parsed.op != Request::Op::kStats && parsed.op != Request::Op::kMetrics &&
+      parsed.id.empty()) {
     throw CheckFailure("\"" + op + "\" requires a non-empty \"id\"");
   }
   if (parsed.op == Request::Op::kSubmit) {
@@ -193,6 +199,60 @@ Json Session::stats_event(const std::string& id) const {
   return event;
 }
 
+Json Session::metrics_event(const std::string& id) const {
+  Json event = Json::make_object();
+  event["event"] = "metrics";
+  if (!id.empty()) {
+    event["id"] = id;
+  }
+  // Like `isa` in stats: which node answered (machine/deployment shape).
+  event["isa"] = std::string(qsim::isa_name(qsim::active_isa()));
+  event["metrics"] = service_.metrics_snapshot();
+  return event;
+}
+
+Json Session::trace_event(const std::string& id) const {
+  std::shared_ptr<const obs::Trace> trace;
+  {
+    LockGuard lock(mutex_);
+    if (const auto it = traces_.find(id); it != traces_.end()) {
+      trace = it->second;
+    }
+  }
+  if (trace == nullptr) {
+    Json event = Json::make_object();
+    event["event"] = "error";
+    event["message"] = "no trace for job id \"" + id +
+                       "\" (unknown, untraced, or forgotten — the session "
+                       "remembers the last " +
+                       std::to_string(kTraceIndexCapacity) + " traced jobs)";
+    return event;
+  }
+  Json event = Json::make_object();
+  event["event"] = "trace";
+  event["id"] = id;
+  event["trace"] = trace->to_json();
+  return event;
+}
+
+void Session::remember_trace(const std::string& id,
+                             std::shared_ptr<const obs::Trace> trace) {
+  if (trace == nullptr) {
+    return;  // untraced (tracing disabled, or a cache-served repeat)
+  }
+  LockGuard lock(mutex_);
+  if (const auto it = traces_.find(id); it != traces_.end()) {
+    it->second = std::move(trace);  // id reuse: replace, keep FIFO position
+    return;
+  }
+  traces_.emplace(id, std::move(trace));
+  trace_order_.push_back(id);
+  while (trace_order_.size() > kTraceIndexCapacity) {
+    traces_.erase(trace_order_.front());
+    trace_order_.pop_front();
+  }
+}
+
 std::size_t Session::inflight() const {
   LockGuard lock(mutex_);
   return jobs_.size();
@@ -236,6 +296,7 @@ void Session::handle_line(const std::string& line) {
         LockGuard lock(mutex_);
         jobs_.emplace(id, *handle);
       }
+      remember_trace(id, handle->trace());
       // Ack BEFORE the emitter can see the handle: a cache-served job is
       // already done, and its result must not precede the accepted event.
       Json event = Json::make_object();
@@ -260,6 +321,10 @@ void Session::handle_line(const std::string& line) {
       event["event"] = "cancelling";
       event["id"] = id;
       emit(event);
+    } else if (request.op == Request::Op::kMetrics) {
+      emit(metrics_event(id));
+    } else if (request.op == Request::Op::kTrace) {
+      emit(trace_event(id));
     } else {
       emit(stats_event(id));
     }

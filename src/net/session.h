@@ -1,8 +1,9 @@
 // One JSONL protocol session over a pqs::Service — the piece pqs_serve's
 // stdin loop and every TCP connection share.
 //
-// A session consumes request lines (submit / cancel / stats) and produces
-// event lines (accepted / overloaded / cancelling / stats / result / error).
+// A session consumes request lines (submit / cancel / stats / metrics /
+// trace) and produces event lines (accepted / overloaded / cancelling /
+// stats / metrics / trace / result / error).
 // Protocol contract, identical on every transport:
 //
 //   * every request line is answered SYNCHRONOUSLY by exactly one ack event
@@ -29,6 +30,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <thread>
 #include <utility>
@@ -51,9 +53,10 @@ struct SessionOptions {
 /// (fuzz/fuzz_wire_line.cpp) and pqs_replay drive the exact code every
 /// transport runs, without standing a service up.
 struct Request {
-  enum class Op { kSubmit, kCancel, kStats };
+  enum class Op { kSubmit, kCancel, kStats, kMetrics, kTrace };
   Op op = Op::kStats;
-  /// Required (non-empty) for submit/cancel; optional echo token for stats.
+  /// Required (non-empty) for submit/cancel/trace; optional echo token for
+  /// stats/metrics.
   std::string id;
   int priority = 0;  ///< submit only
   SearchSpec spec;   ///< submit only; validated by api::spec_from_json
@@ -102,6 +105,15 @@ class Session {
   /// The extended `stats` event: deployment shape, queue depth, counters,
   /// coalescing hit-rate, cache counters, per-stage latency histograms.
   Json stats_event(const std::string& id) const;
+  /// The `metrics` event: the Service registry's full snapshot (gauges
+  /// refreshed), under a "metrics" key so the router can lift and merge it.
+  Json metrics_event(const std::string& id) const;
+  /// The `trace` event for a previously submitted job id: its span
+  /// timeline, or an error event when the id is unknown / evicted.
+  Json trace_event(const std::string& id) const PQS_EXCLUDES(mutex_);
+  void remember_trace(const std::string& id,
+                      std::shared_ptr<const obs::Trace> trace)
+      PQS_EXCLUDES(mutex_);
 
   Service& service_;
   SessionOptions options_;
@@ -123,6 +135,15 @@ class Session {
   std::map<std::string, JobHandle> jobs_ PQS_GUARDED_BY(mutex_);
   bool input_done_ PQS_GUARDED_BY(mutex_) = false;
   bool aborted_ PQS_GUARDED_BY(mutex_) = false;
+
+  /// request id -> span timeline, kept PAST completion (the `trace` op
+  /// arrives after the result) in a bounded FIFO — at the cap the oldest
+  /// remembered id is forgotten. Re-submitting a finished id replaces its
+  /// timeline in place.
+  static constexpr std::size_t kTraceIndexCapacity = 4096;
+  std::map<std::string, std::shared_ptr<const obs::Trace>> traces_
+      PQS_GUARDED_BY(mutex_);
+  std::deque<std::string> trace_order_ PQS_GUARDED_BY(mutex_);
 
   std::thread emitter_;  ///< constructed last, joined by drain()/~Session
 };

@@ -1,0 +1,106 @@
+#include "obs/metrics.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace pqs::obs {
+
+namespace {
+
+template <typename Map>
+auto& find_or_create(Map& map, const std::string& name) {
+  auto it = map.find(name);
+  if (it == map.end()) {
+    using Instrument = typename Map::mapped_type::element_type;
+    it = map.emplace(name, std::make_unique<Instrument>()).first;
+  }
+  return *it->second;
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  LockGuard lock(mutex_);
+  return find_or_create(counters_, name);
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  LockGuard lock(mutex_);
+  return find_or_create(gauges_, name);
+}
+
+AtomicHistogram& MetricsRegistry::histogram(const std::string& name) {
+  LockGuard lock(mutex_);
+  return find_or_create(histograms_, name);
+}
+
+Json MetricsRegistry::snapshot() const {
+  LockGuard lock(mutex_);
+  Json counters = Json::make_object();
+  for (const auto& [name, counter] : counters_) {
+    counters[name] = counter->value();
+  }
+  Json gauges = Json::make_object();
+  for (const auto& [name, gauge] : gauges_) {
+    const std::int64_t value = gauge->value();
+    // Gauges are levels (sizes, depths) and never meaningfully negative;
+    // clamping keeps the wire type uniform uint64 like everything else.
+    gauges[name] = value < 0 ? std::uint64_t{0}
+                             : static_cast<std::uint64_t>(value);
+  }
+  Json histograms = Json::make_object();
+  for (const auto& [name, histogram] : histograms_) {
+    histograms[name] = histogram->snapshot().to_json();
+  }
+  Json snapshot = Json::make_object();
+  snapshot["counters"] = std::move(counters);
+  snapshot["gauges"] = std::move(gauges);
+  snapshot["histograms"] = std::move(histograms);
+  return snapshot;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Json merge_snapshots(const std::vector<Json>& snapshots) {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::uint64_t> gauges;
+  std::map<std::string, LogHistogram> histograms;
+  for (const Json& snapshot : snapshots) {
+    for (const auto& [name, value] : snapshot.at("counters").as_object()) {
+      counters[name] += value.as_uint();
+    }
+    for (const auto& [name, value] : snapshot.at("gauges").as_object()) {
+      gauges[name] += value.as_uint();
+    }
+    for (const auto& [name, dump] : snapshot.at("histograms").as_object()) {
+      LogHistogram shard = LogHistogram::from_json(dump);
+      auto [it, fresh] = histograms.try_emplace(name, std::move(shard));
+      if (!fresh) {
+        it->second.merge(shard);
+      }
+    }
+  }
+  Json merged_counters = Json::make_object();
+  for (const auto& [name, value] : counters) {
+    merged_counters[name] = value;
+  }
+  Json merged_gauges = Json::make_object();
+  for (const auto& [name, value] : gauges) {
+    merged_gauges[name] = value;
+  }
+  Json merged_histograms = Json::make_object();
+  for (const auto& [name, histogram] : histograms) {
+    merged_histograms[name] = histogram.to_json();
+  }
+  Json merged = Json::make_object();
+  merged["counters"] = std::move(merged_counters);
+  merged["gauges"] = std::move(merged_gauges);
+  merged["histograms"] = std::move(merged_histograms);
+  return merged;
+}
+
+}  // namespace pqs::obs

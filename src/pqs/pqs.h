@@ -12,6 +12,10 @@
 #include "service/flags.h"
 #include "service/service.h"
 
+// Observability: the unified metrics registry and request tracing.
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 // Infrastructure.
 #include "common/check.h"
 #include "common/cli.h"

@@ -60,6 +60,11 @@ std::vector<Index> BatchRunner::map_shots(
   std::vector<Index> outcomes(shots);
   const auto n = static_cast<std::int64_t>(shots);
   RunControl* const control = options_.control;
+  // Spans bracket the whole fan-out, OUTSIDE the parallel region — the
+  // trace wants "when did the shot sweep run", never a per-shot event.
+  if (control != nullptr) {
+    control->span("shots.begin");
+  }
 #ifdef PQS_HAVE_OPENMP
 #pragma omp parallel for schedule(static) num_threads(threads_)
 #endif
@@ -77,6 +82,9 @@ std::vector<Index> BatchRunner::map_shots(
     }
   }
   checkpoint(control);
+  if (control != nullptr) {
+    control->span("shots.end");
+  }
   return outcomes;
 }
 

@@ -33,6 +33,19 @@ class CancelledError : public std::runtime_error {
   CancelledError() : std::runtime_error("run cancelled") {}
 };
 
+/// Where span events go when a run is traced. The interface lives HERE (not
+/// in src/obs/) so the execution layers can emit spans without qsim growing
+/// a dependency on the observability subsystem — obs::Trace implements it,
+/// qsim only sees the abstract sink. Implementations must be safe to call
+/// from any thread of the run.
+class SpanSink {
+ public:
+  virtual ~SpanSink() = default;
+  /// Record one named instant in the run's timeline. `name` must point at
+  /// storage outliving the call (string literals in practice).
+  virtual void span(const char* name) noexcept = 0;
+};
+
 /// Shared cancel + progress state of one run. The submitting side keeps a
 /// reference and calls cancel(); the executing side checkpoints and reports
 /// progress. Not reusable across runs (counters only grow).
@@ -72,6 +85,23 @@ class RunControl {
     return work_done_.load(std::memory_order_relaxed);
   }
 
+  /// Attach a span sink. Called at most once, BEFORE the run is published
+  /// to other threads (pqs::Service sets it inside submit(), before the job
+  /// reaches the queue — the queue mutex provides the happens-before edge),
+  /// exactly like detail::Job::journal_id. A plain pointer, not an atomic:
+  /// the untraced path must cost one null check and nothing else.
+  void set_span_sink(SpanSink* sink) noexcept { trace_ = sink; }
+  SpanSink* span_sink() const noexcept { return trace_; }
+
+  /// Emit one named span event iff a sink is attached. This is the whole
+  /// disabled path — pointer test + branch — which is what lets the bench
+  /// pin untraced overhead at ~0.
+  void span(const char* name) const noexcept {
+    if (trace_ != nullptr) {
+      trace_->span(name);
+    }
+  }
+
   /// Completed fraction in [0, 1]; 0 while the total is unknown.
   double progress() const noexcept {
     const std::uint64_t total = work_total();
@@ -88,6 +118,7 @@ class RunControl {
   std::atomic<bool> cancelled_{false};
   std::atomic<std::uint64_t> work_total_{0};
   std::atomic<std::uint64_t> work_done_{0};
+  SpanSink* trace_ = nullptr;  ///< set once pre-publication; see above
 };
 
 /// Null-tolerant checkpoint, for code paths where no control is attached

@@ -100,6 +100,9 @@ std::uint64_t Journal::append_accepted(const SearchSpec& canonical_spec,
   const std::uint64_t id = next_id_++;
   record["id"] = id;
   append_line(record.dump());
+  if (accepted_appends_ != nullptr) {
+    accepted_appends_->add();
+  }
   return id;
 }
 
@@ -119,12 +122,20 @@ void Journal::append_completed(std::uint64_t id, JobStatus status,
   }
   LockGuard lock(mutex_);
   append_line(record.dump());
+  if (completed_appends_ != nullptr) {
+    completed_appends_->add();
+  }
 }
 
 void Journal::sync() {
   LockGuard lock(mutex_);
   PQS_CHECK_MSG(::fsync(fd_) == 0, "Journal: fsync of \"" + path_ +
                                        "\" failed: " + std::strerror(errno));
+}
+
+void Journal::bind_metrics(obs::MetricsRegistry& registry) {
+  accepted_appends_ = &registry.counter("journal.accepted_appends");
+  completed_appends_ = &registry.counter("journal.completed_appends");
 }
 
 // ---- recovery --------------------------------------------------------------
@@ -339,7 +350,8 @@ void Journal::finish_recovery(const std::string& path) {
 namespace service {
 
 ReplayOutcome replay_pending(Service& service,
-                             const std::vector<JournalRecord>& pending) {
+                             const std::vector<JournalRecord>& pending,
+                             obs::MetricsRegistry* metrics) {
   ReplayOutcome outcome;
   for (const JournalRecord& record : pending) {
     while (true) {
@@ -374,6 +386,10 @@ ReplayOutcome replay_pending(Service& service,
         break;
       }
     }
+  }
+  if (metrics != nullptr) {
+    metrics->counter("journal.replayed_jobs").add(outcome.resubmitted);
+    metrics->counter("journal.replay_skipped").add(outcome.skipped);
   }
   return outcome;
 }

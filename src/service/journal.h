@@ -54,6 +54,7 @@
 #include "api/search_spec.h"
 #include "common/thread_annotations.h"
 #include "common/timing.h"
+#include "obs/metrics.h"
 #include "service/service.h"
 
 namespace pqs {
@@ -136,6 +137,12 @@ class Journal {
   /// after resubmitting, before deleting the old history).
   void sync() PQS_EXCLUDES(mutex_);
 
+  /// Count appends on `registry` (`journal.accepted_appends` /
+  /// `journal.completed_appends`). Pre-traffic wiring, like every other
+  /// bind_metrics in the tree; pqs_serve binds the global registry here so
+  /// the `metrics` op covers durability too.
+  void bind_metrics(obs::MetricsRegistry& registry);
+
   const std::string& path() const { return path_; }
 
   // ---- recovery (static: reads files, touches no Journal instance) ----
@@ -169,6 +176,8 @@ class Journal {
 
   const std::string path_;
   const JournalSync sync_;
+  obs::Counter* accepted_appends_ = nullptr;   ///< set by bind_metrics
+  obs::Counter* completed_appends_ = nullptr;  ///< set by bind_metrics
   mutable Mutex mutex_;
   int fd_ PQS_GUARDED_BY(mutex_) = -1;
   std::uint64_t next_id_ PQS_GUARDED_BY(mutex_) = 1;
@@ -189,8 +198,11 @@ struct ReplayOutcome {
   std::size_t skipped = 0;  ///< specs that no longer validate
   std::vector<std::string> warnings;
 };
+/// `metrics`, when given, counts the outcome as `journal.replayed_jobs` /
+/// `journal.replay_skipped`.
 ReplayOutcome replay_pending(Service& service,
-                             const std::vector<JournalRecord>& pending);
+                             const std::vector<JournalRecord>& pending,
+                             obs::MetricsRegistry* metrics = nullptr);
 
 }  // namespace service
 

@@ -71,7 +71,7 @@ JobStatus JobHandle::wait() const {
 }
 
 JobStatus JobHandle::wait_for(std::chrono::milliseconds timeout) const {
-  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  const auto deadline = steady_now() + timeout;
   UniqueLock lock(job_->mutex);
   while (true) {
     const JobStatus s = status_locked();
@@ -123,18 +123,57 @@ const std::string& JobHandle::error() const {
 const SearchSpec& JobHandle::spec() const { return job_->spec; }
 const std::string& JobHandle::key() const { return job_->key; }
 
+std::uint64_t JobHandle::trace_id() const {
+  return job_->trace == nullptr ? 0 : job_->trace->id();
+}
+
+std::shared_ptr<const obs::Trace> JobHandle::trace() const {
+  return job_->trace;
+}
+
 // ---- Service ---------------------------------------------------------------
 
 Service::Service(ServiceOptions options)
     : Service(options, Registry::with_builtin_algorithms()) {}
 
+Service::Instruments Service::Instruments::bind(obs::MetricsRegistry& r) {
+  return Instruments{
+      r.counter("service.submitted"),
+      r.counter("service.coalesced_submits"),
+      r.counter("service.cache_hits"),
+      r.counter("service.rejected"),
+      r.counter("service.executed"),
+      r.counter("service.done"),
+      r.counter("service.cancelled"),
+      r.counter("service.failed"),
+      r.histogram("latency.queue_ns"),
+      r.histogram("latency.plan_ns"),
+      r.histogram("latency.exec_ns"),
+      r.gauge("service.queue_depth"),
+      r.gauge("plan.cache_size"),
+      r.gauge("plan.cache_evictions"),
+      r.gauge("result_cache.size"),
+      r.gauge("result_cache.evictions"),
+  };
+}
+
 Service::Service(ServiceOptions options, Registry registry)
     : options_(options),
       engine_(std::move(registry), options.plan_cache_capacity),
+      metrics_(options.metrics != nullptr ? options.metrics : &own_metrics_),
+      inst_(Instruments::bind(*metrics_)),
+      trace_store_(options.trace),
       results_(options.result_cache_capacity) {
   PQS_CHECK_MSG(options_.threads >= 1, "Service needs at least one worker");
   PQS_CHECK_MSG(options_.queue_capacity >= 1,
                 "Service needs queue_capacity >= 1");
+  // The shared Engine's plan cache reports into the same registry
+  // (plan.cache_hits / plan.cache_misses), replacing the Planner's
+  // private counters.
+  engine_.bind_metrics(*metrics_);
+  // Count slow requests even before pqs_serve installs its stderr
+  // callback; set_slow_sink is pre-traffic wiring by contract.
+  trace_store_.set_slow_sink(metrics_, nullptr);
   workers_.reserve(options_.threads);
   for (unsigned t = 0; t < options_.threads; ++t) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -195,8 +234,8 @@ JobHandle Service::submit(const SearchSpec& spec, int priority) {
     const std::shared_ptr<Job>& job = it->second;
     LockGuard job_lock(job->mutex);
     if (!job->control.cancelled()) {
-      ++stats_.submitted;
-      ++stats_.coalesced_submits;
+      inst_.submitted.add();
+      inst_.coalesced_submits.add();
       job->attached.fetch_add(1);
       // An urgent caller must not inherit a lazy caller's queue position:
       // if the shared job is still waiting, promote it to the higher
@@ -216,8 +255,8 @@ JobHandle Service::submit(const SearchSpec& spec, int priority) {
 
   // Repeat of a completed spec: serve the cached report, run nothing.
   if (const SearchReport* cached = results_.find(key)) {
-    ++stats_.submitted;
-    ++stats_.cache_hits;
+    inst_.submitted.add();
+    inst_.cache_hits.add();
     auto job = std::make_shared<Job>();
     job->spec = std::move(canonical);
     job->key = std::move(key);
@@ -240,7 +279,7 @@ JobHandle Service::submit(const SearchSpec& spec, int priority) {
     // Admission control: overload is rejected HERE, explicitly and
     // immediately — never absorbed as silent queueing latency. Front-ends
     // (src/net/session.cpp) map this exact type to an `overloaded` event.
-    ++stats_.rejected;
+    inst_.rejected.add();
     throw OverloadedError("Service queue is full (" +
                           std::to_string(options_.queue_capacity) +
                           " jobs waiting); retry later or raise "
@@ -266,7 +305,16 @@ JobHandle Service::submit(const SearchSpec& spec, int priority) {
   if (options_.journal) {
     job->journal_id = options_.journal->append_accepted(job->spec, priority);
   }
-  ++stats_.submitted;  // after capacity + journal: rejects are not accepts
+  inst_.submitted.add();  // after capacity + journal: rejects are not accepts
+  // Mint the trace last, pre-publication (same once-before-sharing
+  // contract as journal_id); from here every layer the job crosses can
+  // emit spans through the control's sink.
+  job->trace = trace_store_.mint();
+  if (job->trace != nullptr) {
+    job->control.set_span_sink(job->trace.get());
+    job->trace->span("submit");
+    job->trace->span("queue.enqueued");
+  }
   job->queued_at.reset();
   inflight_[std::move(key)] = job;  // may replace a fully-cancelled job
   queue_.emplace(std::make_pair(-priority, job->seq), job);
@@ -280,10 +328,20 @@ std::size_t Service::queue_depth() const {
 }
 
 ServiceStats Service::stats() const {
+  // The counters are registry-backed atomics now; only the result-cache
+  // numbers still live under mutex_. The view stays field-identical to
+  // the pre-registry ServiceStats (the `stats` op's compatibility pin).
   ServiceStats stats;
+  stats.submitted = inst_.submitted.value();
+  stats.coalesced_submits = inst_.coalesced_submits.value();
+  stats.cache_hits = inst_.cache_hits.value();
+  stats.rejected = inst_.rejected.value();
+  stats.executed = inst_.executed.value();
+  stats.done = inst_.done.value();
+  stats.cancelled = inst_.cancelled.value();
+  stats.failed = inst_.failed.value();
   {
     LockGuard lock(mutex_);
-    stats = stats_;
     stats.result_cache_evictions = results_.evictions();
     stats.result_cache_size = results_.size();
   }
@@ -298,8 +356,28 @@ ServiceStats Service::stats() const {
 }
 
 StageHistograms Service::latency_histograms() const {
-  LockGuard lock(mutex_);
-  return latency_;
+  StageHistograms stage;
+  stage.queue = inst_.queue_ns.snapshot();
+  stage.plan = inst_.plan_ns.snapshot();
+  stage.exec = inst_.exec_ns.snapshot();
+  return stage;
+}
+
+Json Service::metrics_snapshot() const {
+  // Counters and histograms update themselves; the sampled levels are
+  // refreshed here so a snapshot is never staler than its own dump.
+  {
+    LockGuard lock(mutex_);
+    inst_.queue_depth.set(static_cast<std::int64_t>(queue_.size()));
+    inst_.result_cache_size.set(static_cast<std::int64_t>(results_.size()));
+    inst_.result_cache_evictions.set(
+        static_cast<std::int64_t>(results_.evictions()));
+  }
+  const Planner& planner = engine_.planner();
+  inst_.plan_cache_size.set(static_cast<std::int64_t>(planner.size()));
+  inst_.plan_cache_evictions.set(
+      static_cast<std::int64_t>(planner.evictions()));
+  return metrics_->snapshot();
 }
 
 void Service::reap_cancelled_locked() {
@@ -315,13 +393,17 @@ void Service::reap_cancelled_locked() {
         inflight != inflight_.end() && inflight->second == job) {
       inflight_.erase(inflight);
     }
-    ++stats_.cancelled;
+    inst_.cancelled.add();
     if (options_.journal && job->journal_id != 0 && !stopping_) {
       try {
         options_.journal->append_completed(job->journal_id,
                                            JobStatus::kCancelled, nullptr);
       } catch (const std::exception&) {
       }
+    }
+    if (job->trace != nullptr) {
+      job->trace->span("finish.cancelled");
+      trace_store_.retire(job->trace);
     }
     {
       LockGuard job_lock(job->mutex);
@@ -362,10 +444,8 @@ void Service::execute(const std::shared_ptr<Job>& job) {
     LockGuard lock(job->mutex);
     job->status = JobStatus::kRunning;
   }
-  {
-    LockGuard lock(mutex_);
-    ++stats_.executed;
-  }
+  inst_.executed.add();
+  job->control.span("exec.begin");
 
   try {
     SearchReport report = engine_.run(job->spec, &job->control);
@@ -400,17 +480,17 @@ void Service::finish(const std::shared_ptr<Job>& job, JobStatus status,
     }
     switch (status) {
       case JobStatus::kDone:
-        ++stats_.done;
+        inst_.done.add();
         results_.put(job->key, report);
-        latency_.queue.record(report.queue_ns);
-        latency_.plan.record(report.plan_ns);
-        latency_.exec.record(report.exec_ns);
+        inst_.queue_ns.record(report.queue_ns);
+        inst_.plan_ns.record(report.plan_ns);
+        inst_.exec_ns.record(report.exec_ns);
         break;
       case JobStatus::kCancelled:
-        ++stats_.cancelled;
+        inst_.cancelled.add();
         break;
       case JobStatus::kFailed:
-        ++stats_.failed;
+        inst_.failed.add();
         break;
       default:
         break;
@@ -429,6 +509,15 @@ void Service::finish(const std::shared_ptr<Job>& job, JobStatus status,
       } catch (const std::exception&) {
       }
     }
+  }
+  if (job->trace != nullptr) {
+    switch (status) {
+      case JobStatus::kDone: job->trace->span("finish.done"); break;
+      case JobStatus::kCancelled: job->trace->span("finish.cancelled"); break;
+      default: job->trace->span("finish.failed"); break;
+    }
+    trace_store_.retire(job->trace);  // outside mutex_: the slow-request
+                                      // callback may write to stderr
   }
   {
     LockGuard lock(job->mutex);

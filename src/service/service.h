@@ -47,6 +47,8 @@
 #include "common/lru.h"
 #include "common/thread_annotations.h"
 #include "common/timing.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "qsim/run_control.h"
 
 namespace pqs {
@@ -83,6 +85,18 @@ struct ServiceOptions {
   /// markers are deliberately suppressed so a restart replays the
   /// interrupted jobs.
   std::shared_ptr<Journal> journal;
+  /// Where this Service registers its instruments (obs/metrics.h). Null —
+  /// the default — means a PRIVATE registry owned by the Service: unit
+  /// tests build many Services per process and assert exact per-instance
+  /// counts, which a shared registry would cross-contaminate. pqs_serve
+  /// passes &obs::MetricsRegistry::global() so service, net, and journal
+  /// telemetry land in one fleet-scrapable catalog.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Request tracing (obs/trace.h): ring capacity, slow threshold. The
+  /// default keeps tracing ON (capacity 256, slow log off) — the bench
+  /// pins the enabled-path cost under 1%; set trace.capacity = 0 to
+  /// reduce a job to the bare null-check path.
+  obs::TraceStoreOptions trace;
 };
 
 /// Monotonic counters of one Service (a deployment's dashboard numbers).
@@ -144,6 +158,11 @@ struct Job {
   qsim::RunControl control;
   std::atomic<std::uint64_t> attached{0};  ///< live uncancelled handles
   Stopwatch queued_at;                     ///< started at submit
+  /// This execution's span timeline, or null (tracing disabled, or the
+  /// job was served from the result cache and executed nothing). Written
+  /// once in submit() before the job is shared — same contract as
+  /// journal_id — and also reachable through control's SpanSink.
+  std::shared_ptr<obs::Trace> trace;
 
   mutable Mutex mutex;
   std::condition_variable_any cv;
@@ -188,6 +207,14 @@ class JobHandle {
   const SearchSpec& spec() const;
   const std::string& key() const;
 
+  /// The trace id of the underlying execution (0 = untraced: tracing
+  /// disabled, or served from the result cache). Coalesced handles share
+  /// the execution's id.
+  std::uint64_t trace_id() const;
+  /// The live span timeline (null when untraced). Spans keep arriving
+  /// while the job runs; obs::Trace reads are internally synchronized.
+  std::shared_ptr<const obs::Trace> trace() const;
+
  private:
   friend class Service;
   JobHandle(std::shared_ptr<detail::Job> job,
@@ -230,6 +257,17 @@ class Service {
   const Engine& engine() const { return engine_; }
   const ServiceOptions& options() const { return options_; }
 
+  /// The registry this Service's instruments live in: the options-supplied
+  /// one, or the private per-instance fallback.
+  obs::MetricsRegistry& metrics() const { return *metrics_; }
+  /// Refresh the sampled gauges (queue depth, cache sizes and evictions)
+  /// and return a full registry snapshot — what the `metrics` wire op
+  /// dumps and pqs_router merges fleet-wide.
+  Json metrics_snapshot() const;
+  /// The ring of completed request traces (obs/trace.h); the `trace` wire
+  /// op reads timelines out of here.
+  obs::TraceStore& trace_store() const { return trace_store_; }
+
  private:
   void worker_loop() PQS_EXCLUDES(mutex_);
   void execute(const std::shared_ptr<detail::Job>& job) PQS_EXCLUDES(mutex_);
@@ -245,8 +283,42 @@ class Service {
   ServiceOptions options_;
   Engine engine_;
 
-  /// Guards the queue, the coalescing index, the result cache, and the
-  /// counters (annotated below — the analysis rejects unlocked access).
+  /// The private fallback registry; referenced by metrics_ iff
+  /// options.metrics was null. Declared before the instruments (they bind
+  /// into it at construction).
+  mutable obs::MetricsRegistry own_metrics_;
+  obs::MetricsRegistry* metrics_;  ///< never null after construction
+
+  /// Hot-path instrument handles, resolved once at construction: name
+  /// lookups take the registry mutex, these references never do. The
+  /// counters replace the old ServiceStats member — ServiceStats is now a
+  /// snapshot VIEW assembled by stats(), served from the registry.
+  struct Instruments {
+    obs::Counter& submitted;
+    obs::Counter& coalesced_submits;
+    obs::Counter& cache_hits;
+    obs::Counter& rejected;
+    obs::Counter& executed;
+    obs::Counter& done;
+    obs::Counter& cancelled;
+    obs::Counter& failed;
+    obs::AtomicHistogram& queue_ns;
+    obs::AtomicHistogram& plan_ns;
+    obs::AtomicHistogram& exec_ns;
+    obs::Gauge& queue_depth;
+    obs::Gauge& plan_cache_size;
+    obs::Gauge& plan_cache_evictions;
+    obs::Gauge& result_cache_size;
+    obs::Gauge& result_cache_evictions;
+    static Instruments bind(obs::MetricsRegistry& registry);
+  };
+  Instruments inst_;
+
+  mutable obs::TraceStore trace_store_;
+
+  /// Guards the queue, the coalescing index, and the result cache
+  /// (annotated below — the analysis rejects unlocked access). The event
+  /// counters moved into the registry's lock-free instruments above.
   mutable Mutex mutex_;
   std::condition_variable_any queue_cv_;
   /// (-priority, sequence) -> job: begin() is the next job to run.
@@ -256,8 +328,6 @@ class Service {
   std::map<std::string, std::shared_ptr<detail::Job>> inflight_
       PQS_GUARDED_BY(mutex_);
   LruMap<std::string, SearchReport> results_ PQS_GUARDED_BY(mutex_);
-  ServiceStats stats_ PQS_GUARDED_BY(mutex_);
-  StageHistograms latency_ PQS_GUARDED_BY(mutex_);
   std::uint64_t next_seq_ PQS_GUARDED_BY(mutex_) = 0;
   bool stopping_ PQS_GUARDED_BY(mutex_) = false;
 

@@ -1,0 +1,25 @@
+// Golden fixture: must stay CLEAN under the raw-clock rule.
+//
+// The sanctioned shapes: Stopwatch for elapsed time, steady_now() for
+// deadline arithmetic, trace_now_ns() for span timestamps. A clock name in
+// a comment (std::chrono::steady_clock::now()) or a string must not trip
+// the rule either — the linter strips both.
+#include <chrono>
+#include <cstdint>
+
+namespace pqs {
+std::chrono::steady_clock::time_point steady_now();
+namespace obs {
+std::uint64_t trace_now_ns();
+}
+}  // namespace pqs
+
+bool deadline_passed(std::chrono::steady_clock::time_point deadline) {
+  return pqs::steady_now() >= deadline;  // wrapper, not a raw clock read
+}
+
+std::uint64_t span_stamp() {
+  const char* doc = "std::chrono::steady_clock::now() belongs in strings";
+  (void)doc;
+  return pqs::obs::trace_now_ns();
+}

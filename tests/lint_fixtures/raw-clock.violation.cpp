@@ -1,0 +1,20 @@
+// Golden fixture: MUST trip the raw-clock rule.
+//
+// A deadline computed from the raw steady clock works — until a test needs
+// to make a request "slow" and has nothing to fake: the clock read is
+// inlined at the call site instead of flowing through common/timing or the
+// obs trace clock.
+#include <chrono>
+
+bool deadline_passed(std::chrono::steady_clock::time_point deadline) {
+  // violation: a raw *_clock::now() outside the sanctioned homes
+  return std::chrono::steady_clock::now() >= deadline;
+}
+
+unsigned long long wall_stamp() {
+  // violation: system_clock is just as unfakeable
+  return static_cast<unsigned long long>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}

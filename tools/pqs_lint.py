@@ -52,6 +52,15 @@ actually shipped here or is one design decision away from shipping:
                      exactly the records a crash is supposed to preserve.
                      All journal writes go through the Journal class.
 
+  raw-clock          A direct `std::chrono::*_clock::now()` call outside
+                     common/timing and src/obs/. Every instrumentation
+                     timestamp flows through pqs::Stopwatch / steady_now()
+                     or obs::trace_now_ns() — ONE clock per concern — so
+                     trace and slow-request tests can fake time
+                     (obs::set_fake_clock_ns_for_testing) instead of
+                     sleeping, and a span timeline is always comparable to
+                     the stage histograms recorded next to it.
+
 Usage:
   tools/pqs_lint.py [--root DIR]      lint the tree (src/ tools/ examples/
                                       bench/); exit 1 on any violation
@@ -380,6 +389,33 @@ def check_journal_append(rel, raw, stripped):
     return violations
 
 
+# The sanctioned clock homes: the Stopwatch/steady_now wrappers and the
+# obs trace clock (which carries the fake-time test hook).
+RAW_CLOCK_ALLOWED = {
+    "src/common/timing.h",
+    "src/common/timing.cpp",
+}
+
+RAW_CLOCK_RE = re.compile(
+    r"\bstd\s*::\s*chrono\s*::\s*\w+_clock\s*::\s*now\s*\(")
+
+
+def check_raw_clock(rel, raw, stripped):
+    del raw
+    if rel in RAW_CLOCK_ALLOWED or rel.startswith("src/obs/"):
+        return []
+    violations = []
+    for match in RAW_CLOCK_RE.finditer(stripped):
+        line = stripped.count("\n", 0, match.start()) + 1
+        violations.append(Violation(
+            rel, line, "raw-clock",
+            "direct std::chrono clock read outside common/timing and "
+            "src/obs/; use pqs::Stopwatch / pqs::steady_now() (or "
+            "obs::trace_now_ns() for span timestamps) so tests can fake "
+            "time through one hook"))
+    return violations
+
+
 def check_omp_pragma(rel, raw, stripped):
     del raw
     if rel in OMP_PRAGMA_ALLOWED:
@@ -403,6 +439,7 @@ RULES = {
     "omp-pragma": check_omp_pragma,
     "raw-socket": check_raw_socket,
     "journal-append": check_journal_append,
+    "raw-clock": check_raw_clock,
 }
 
 

@@ -21,7 +21,11 @@
 //     result is out, so at fixed seeds the client-visible result stream is
 //     byte-identical to a single direct worker (CI diffs exactly that);
 //   * a dropped client tears down its per-client worker connections, so the
-//     workers' sessions abort and cancel exactly that client's jobs.
+//     workers' sessions abort and cancel exactly that client's jobs;
+//   * the router is the fleet's telemetry scope: a `metrics` op fans out to
+//     every worker and answers ONE merged registry snapshot — counters sum
+//     exactly, histograms merge bucket-wise (obs::merge_snapshots) — and a
+//     `trace` op routes to the worker that owns the job's timeline.
 //
 // Per client connection the router dials every worker once (per-client
 // links, not shared multiplexing) — that is what makes the abort semantics
@@ -47,6 +51,7 @@
 #include "common/json.h"
 #include "common/thread_annotations.h"
 #include "net/server.h"
+#include "obs/metrics.h"
 #include "net/shard.h"
 #include "net/socket.h"
 #include "service/flags.h"
@@ -139,10 +144,15 @@ class ClientRoute {
         event["workers"] = std::uint64_t{links_.size()};
         LockGuard lock(mutex_);
         write_locked(event.dump());
+      } else if (op == "metrics") {
+        handle_metrics(id);
+      } else if (op == "trace") {
+        handle_trace(line, id);
       } else {
         LockGuard lock(mutex_);
         write_locked(error_event("unknown op \"" + op +
-                                 "\" (expected submit | cancel | stats)")
+                                 "\" (expected submit | cancel | stats | "
+                                 "metrics | trace)")
                          .dump());
       }
     } catch (const std::exception& e) {
@@ -178,8 +188,75 @@ class ClientRoute {
       return;
     }
     owner_[id] = w;
+    // Remembered PAST completion (owner_ forgets at flush): a `trace` op
+    // arrives after the result, and must still find the owning worker.
+    remember_trace_owner_locked(id, w);
     order_.push_back(id);
     forward_and_ack(lock, w, line, id);
+  }
+
+  /// Fleet scope: forward `{"op":"metrics"}` to EVERY live worker, wait
+  /// for each one's synchronous ack (the client loop is serial, so link
+  /// FIFO depth stays <= 1), and answer one merged snapshot. A dead or
+  /// garbled worker contributes nothing; `workers_answering` says how many
+  /// did.
+  void handle_metrics(const std::string& id) {
+    Json probe = Json::make_object();
+    probe["op"] = "metrics";
+    const std::string probe_line = probe.dump();
+    std::vector<Json> snapshots;
+    UniqueLock lock(mutex_);
+    for (std::size_t w = 0; w < links_.size(); ++w) {
+      std::string ack;
+      if (!forward_and_collect(lock, w, probe_line, ack)) {
+        continue;
+      }
+      try {
+        const Json event = Json::parse(ack);
+        if (event.at("event").as_string() == "metrics") {
+          snapshots.push_back(event.at("metrics"));
+        }
+      } catch (const std::exception&) {
+        // A worker answering garbage merges as silence.
+      }
+    }
+    Json event = Json::make_object();
+    event["event"] = "metrics";
+    if (!id.empty()) {
+      event["id"] = id;
+    }
+    event["role"] = "router";
+    event["workers"] = std::uint64_t{links_.size()};
+    event["workers_answering"] = std::uint64_t{snapshots.size()};
+    event["metrics"] = obs::merge_snapshots(snapshots);
+    write_locked(event.dump());
+  }
+
+  /// Route a `trace` op to the worker that ran the job and relay its
+  /// answer (the trace event, or the worker's own not-found error).
+  void handle_trace(const std::string& line, const std::string& id) {
+    UniqueLock lock(mutex_);
+    const auto it = trace_owner_.find(id);
+    if (it == trace_owner_.end()) {
+      write_locked(error_event("no trace for job id \"" + id +
+                               "\" (unknown, or forgotten — the router "
+                               "remembers the last " +
+                               std::to_string(kTraceOwnerCapacity) +
+                               " submitted ids)")
+                       .dump());
+      return;
+    }
+    const std::size_t w = it->second;
+    if (links_[w]->dead) {
+      write_locked(worker_down_event(w).dump());
+      return;
+    }
+    std::string ack;
+    if (!forward_and_collect(lock, w, line, ack)) {
+      write_locked(worker_down_event(w).dump());
+      return;
+    }
+    write_locked(ack);
   }
 
   void handle_cancel(const std::string& line, const std::string& id) {
@@ -240,6 +317,47 @@ class ClientRoute {
       // and anything queued behind it — be released.
       acked_.insert(submit_id);
       flush_locked();
+    }
+  }
+
+  /// Forward one connection-level request to worker `w` and collect its
+  /// synchronous ack. Returns false (no ack) when the link is or goes
+  /// dead. Same unlock-around-the-blocking-write discipline as
+  /// forward_and_ack, without the submit bookkeeping.
+  bool forward_and_collect(UniqueLock& lock, std::size_t w,
+                           const std::string& line, std::string& ack) {
+    Link& link = *links_[w];
+    if (link.dead) {
+      return false;
+    }
+    lock.unlock();
+    const bool sent = link.socket.write_all(line + "\n");
+    lock.lock();
+    if (!sent) {
+      return false;
+    }
+    while (link.acks.empty() && !link.dead) {
+      cv_.wait(lock);
+    }
+    if (link.acks.empty()) {
+      return false;
+    }
+    ack = std::move(link.acks.front());
+    link.acks.pop_front();
+    return true;
+  }
+
+  void remember_trace_owner_locked(const std::string& id, std::size_t w)
+      PQS_REQUIRES(mutex_) {
+    if (const auto it = trace_owner_.find(id); it != trace_owner_.end()) {
+      it->second = w;  // id reuse: replace, keep FIFO position
+      return;
+    }
+    trace_owner_.emplace(id, w);
+    trace_owner_order_.push_back(id);
+    while (trace_owner_order_.size() > kTraceOwnerCapacity) {
+      trace_owner_.erase(trace_owner_order_.front());
+      trace_owner_order_.pop_front();
     }
   }
 
@@ -348,6 +466,11 @@ class ClientRoute {
   std::set<std::string> acked_ PQS_GUARDED_BY(mutex_);
   /// Submits that will never produce a result (rejected, worker died).
   std::set<std::string> dropped_ PQS_GUARDED_BY(mutex_);
+  /// id -> owning worker, kept past completion for `trace` routing
+  /// (bounded FIFO — the oldest remembered id is forgotten at the cap).
+  static constexpr std::size_t kTraceOwnerCapacity = 4096;
+  std::map<std::string, std::size_t> trace_owner_ PQS_GUARDED_BY(mutex_);
+  std::deque<std::string> trace_owner_order_ PQS_GUARDED_BY(mutex_);
   bool client_gone_ PQS_GUARDED_BY(mutex_) = false;
 };
 

@@ -12,6 +12,8 @@
 //     {"op":"submit","id":"b","spec":{...},"priority":5}
 //     {"op":"cancel","id":"a"}
 //     {"op":"stats","id":"s"}
+//     {"op":"metrics","id":"m"}
+//     {"op":"trace","id":"a"}
 //
 //   events
 //     {"event":"accepted","id":"a"}                        immediate ack
@@ -21,6 +23,8 @@
 //     {"event":"result","id":"a","status":"cancelled"}
 //     {"event":"result","id":"a","status":"failed","error":"..."}
 //     {"event":"stats","id":"s","isa":...,"counters":{...},"latency_ns":...}
+//     {"event":"metrics","id":"m","isa":...,"metrics":{...}}  full registry
+//     {"event":"trace","id":"a","trace":{"spans":[...],...}}  span timeline
 //     {"event":"error","message":"..."}                    bad request line
 //
 // Result events are emitted in SUBMISSION order, and the report payload
@@ -43,6 +47,8 @@
 #include "net/server.h"
 #include "net/session.h"
 #include "net/socket.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "qsim/isa.h"
 #include "service/flags.h"
 #include "service/journal.h"
@@ -79,6 +85,7 @@ int run_listen(Service& service, const service::NetOptions& net_options,
   options.listen = net::parse_hostport(net_options.listen);
   options.max_connections = net_options.max_connections;
   options.session = session_options;
+  options.metrics = &obs::MetricsRegistry::global();
   net::NetServer server(service, options);
   server.start();
   std::cerr << "pqs_serve: listening on " << options.listen.host << ":"
@@ -116,6 +123,11 @@ int main(int argc, char** argv) {
   }
   cli.finish();
 
+  // One process, one registry: service, planner, journal, and the TCP
+  // front door all register here, so a single `metrics` op answers for
+  // the whole worker (and the router can merge workers fleet-wide).
+  options.metrics = &obs::MetricsRegistry::global();
+
   // Restart protocol step 1: merge + rotate any pre-crash journal history
   // and open the fresh journal BEFORE the Service exists, so the very
   // first accepted job already lands in it.
@@ -125,12 +137,20 @@ int main(int argc, char** argv) {
         Journal::recover_and_open(journal_options.path, journal_options.sync);
     options.journal = std::move(opened.journal);
     recovered = std::move(opened.recovered);
+    options.journal->bind_metrics(obs::MetricsRegistry::global());
     for (const std::string& warning : recovered.warnings) {
       std::cerr << "pqs_serve: journal: " << warning << "\n";
     }
   }
 
   Service service(options);
+  // Slow requests hit stderr with their full span timeline — the
+  // threshold is --slow-ms (off by default; the counter still exists).
+  service.trace_store().set_slow_sink(
+      &obs::MetricsRegistry::global(), [](const obs::Trace& trace) {
+        std::cerr << "pqs_serve: slow request " << trace.to_json().dump()
+                  << "\n";
+      });
   std::cerr << "pqs_serve: " << options.threads << " worker(s), queue depth "
             << options.queue_capacity << ", kernel ISA "
             << qsim::isa_name(qsim::active_isa()) << "; "
@@ -143,8 +163,8 @@ int main(int argc, char** argv) {
   // replays), make the fresh accepted records durable, drop the history.
   std::vector<JobHandle> replay_handles;
   if (options.journal) {
-    service::ReplayOutcome outcome =
-        service::replay_pending(service, recovered.pending);
+    service::ReplayOutcome outcome = service::replay_pending(
+        service, recovered.pending, &obs::MetricsRegistry::global());
     options.journal->sync();
     Journal::finish_recovery(journal_options.path);
     for (const std::string& warning : outcome.warnings) {
